@@ -1,0 +1,149 @@
+//! Batch query execution across threads.
+//!
+//! Every index in this crate is immutable after construction and
+//! therefore `Sync`; batch workloads (analytics, evaluation sweeps, the
+//! experiment harness itself) can shard queries across OS threads with
+//! no locking. This module provides the small amount of plumbing —
+//! deterministic result order, balanced sharding — so callers don't
+//! hand-roll it.
+
+use skq_geom::Rect;
+use skq_invidx::Keyword;
+
+use crate::orp::OrpKwIndex;
+
+/// A single ORP-KW query in a batch.
+#[derive(Clone, Debug)]
+pub struct BatchQuery {
+    /// The rectangle.
+    pub rect: Rect,
+    /// Exactly `k` distinct keywords.
+    pub keywords: Vec<Keyword>,
+}
+
+/// Runs `queries` against `index` on up to `threads` OS threads,
+/// returning answers in input order (each sorted by object id).
+///
+/// With `threads = 1` this degenerates to a plain loop (no thread is
+/// spawned), so callers can use one code path for both modes.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or any query violates the index's keyword
+/// contract (exactly `k` distinct keywords).
+pub fn run_batch(index: &OrpKwIndex, queries: &[BatchQuery], threads: usize) -> Vec<Vec<u32>> {
+    assert!(threads > 0, "need at least one thread");
+    if queries.is_empty() {
+        return Vec::new();
+    }
+    if threads == 1 || queries.len() == 1 {
+        return queries
+            .iter()
+            .map(|q| {
+                let mut r = index.query(&q.rect, &q.keywords);
+                r.sort_unstable();
+                r
+            })
+            .collect();
+    }
+
+    let threads = threads.min(queries.len());
+    let chunk = queries.len().div_ceil(threads);
+    let mut results: Vec<Vec<Vec<u32>>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = queries
+            .chunks(chunk)
+            .map(|shard| {
+                s.spawn(move || {
+                    shard
+                        .iter()
+                        .map(|q| {
+                            let mut r = index.query(&q.rect, &q.keywords);
+                            r.sort_unstable();
+                            r
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use skq_geom::Point;
+
+    fn setup() -> (OrpKwIndex, Vec<BatchQuery>, Dataset) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dataset = Dataset::from_parts(
+            (0..3000)
+                .map(|_| {
+                    let p = Point::new2(rng.gen_range(0..100) as f64, rng.gen_range(0..100) as f64);
+                    let doc: Vec<Keyword> = (0..rng.gen_range(1..5))
+                        .map(|_| rng.gen_range(0..10))
+                        .collect();
+                    (p, doc)
+                })
+                .collect(),
+        );
+        let index = OrpKwIndex::build(&dataset, 2);
+        let queries: Vec<BatchQuery> = (0..57)
+            .map(|_| {
+                let x: f64 = rng.gen_range(0..100) as f64;
+                let y: f64 = rng.gen_range(0..100) as f64;
+                let w1 = rng.gen_range(0..10);
+                let w2 = (w1 + 1 + rng.gen_range(0..9)) % 10;
+                BatchQuery {
+                    rect: Rect::new(&[x, y], &[x + 25.0, y + 25.0]),
+                    keywords: vec![w1, w2],
+                }
+            })
+            .collect();
+        (index, queries, dataset)
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (index, queries, _) = setup();
+        let seq = run_batch(&index, &queries, 1);
+        for threads in [2, 3, 8, 64] {
+            let par = run_batch(&index, &queries, threads);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn results_are_correct() {
+        let (index, queries, dataset) = setup();
+        let got = run_batch(&index, &queries, 4);
+        for (q, r) in queries.iter().zip(&got) {
+            let expected: Vec<u32> = (0..dataset.len() as u32)
+                .filter(|&i| {
+                    dataset.doc(i as usize).contains_all(&q.keywords)
+                        && q.rect.contains(dataset.point(i as usize))
+                })
+                .collect();
+            assert_eq!(r, &expected);
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let (index, _, _) = setup();
+        assert!(run_batch(&index, &[], 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let (index, queries, _) = setup();
+        let _ = run_batch(&index, &queries, 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! The input representation: a set of objects with points and documents.
+//!
+//! Paper §1.1: the input dataset is a set `D` of *objects*; each object
+//! `e ∈ D` has a non-empty document `e.Doc` (a set of integers). The
+//! input size is `N := Σ_{e∈D} |e.Doc|`, and all bounds are stated in
+//! terms of `N`.
+
+use skq_geom::Point;
+use skq_invidx::{Document, Keyword};
+
+/// An immutable dataset of objects, each a point with a document.
+///
+/// Object ids are their positions (`0..len`).
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    points: Vec<Point>,
+    docs: Vec<Document>,
+    input_size: usize,
+    num_keywords: usize,
+    dim: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset from `(point, keywords)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is empty, a document is empty, or point
+    /// dimensions are inconsistent.
+    pub fn from_parts(parts: Vec<(Point, Vec<Keyword>)>) -> Self {
+        assert!(!parts.is_empty(), "dataset must be non-empty");
+        let dim = parts[0].0.dim();
+        let mut points = Vec::with_capacity(parts.len());
+        let mut docs = Vec::with_capacity(parts.len());
+        for (p, kws) in parts {
+            assert_eq!(p.dim(), dim, "inconsistent point dimensions");
+            points.push(p);
+            docs.push(Document::new(kws));
+        }
+        Self::new(points, docs)
+    }
+
+    /// Builds a dataset from parallel point/document vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input, length mismatch, or inconsistent
+    /// dimensions.
+    pub fn new(points: Vec<Point>, docs: Vec<Document>) -> Self {
+        assert!(!points.is_empty(), "dataset must be non-empty");
+        assert_eq!(points.len(), docs.len(), "points/docs length mismatch");
+        let dim = points[0].dim();
+        assert!(points.iter().all(|p| p.dim() == dim));
+        let input_size = docs.iter().map(Document::len).sum();
+        let num_keywords = docs
+            .iter()
+            .flat_map(|d| d.keywords().iter().copied())
+            .max()
+            .map(|m| m as usize + 1)
+            .unwrap_or(0);
+        Self {
+            points,
+            docs,
+            input_size,
+            num_keywords,
+            dim,
+        }
+    }
+
+    /// The number of objects `|D|`.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Never true: datasets are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The input size `N = Σ |e.Doc|` — the quantity the paper's bounds
+    /// are stated in.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// An upper bound on the keyword universe `W` (max keyword id + 1).
+    pub fn num_keywords(&self) -> usize {
+        self.num_keywords
+    }
+
+    /// The dimensionality `d` of the points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The point of object `id`.
+    #[inline]
+    pub fn point(&self, id: usize) -> &Point {
+        &self.points[id]
+    }
+
+    /// The document of object `id`.
+    #[inline]
+    pub fn doc(&self, id: usize) -> &Document {
+        &self.docs[id]
+    }
+
+    /// All points, indexed by object id.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// All documents, indexed by object id.
+    pub fn docs(&self) -> &[Document] {
+        &self.docs
+    }
+
+    /// The weight `|e.Doc|` of object `id` — the number of its copies in
+    /// the *verbose set* `P` of §3.2.
+    #[inline]
+    pub fn weight(&self, id: usize) -> u64 {
+        self.docs[id].len() as u64
+    }
+
+    /// A derived dataset with the same documents but transformed points
+    /// (used by the reductions: rank space, lifting, rectangle
+    /// flattening).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` yields inconsistent dimensions.
+    pub fn map_points(&self, f: impl Fn(usize, &Point) -> Point) -> Dataset {
+        let points: Vec<Point> = self
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| f(i, p))
+            .collect();
+        Dataset::new(points, self.docs.clone())
+    }
+
+    /// A derived dataset restricted to the given object ids, together
+    /// with the id mapping `local -> global` (used by the
+    /// dimension-reduction tree, whose nodes index their active sets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is empty or contains an out-of-range id.
+    pub fn subset(&self, ids: &[u32]) -> (Dataset, Vec<u32>) {
+        assert!(!ids.is_empty(), "subset must be non-empty");
+        let points: Vec<Point> = ids.iter().map(|&i| self.points[i as usize]).collect();
+        let docs: Vec<Document> = ids.iter().map(|&i| self.docs[i as usize].clone()).collect();
+        (Dataset::new(points, docs), ids.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_parts(vec![
+            (Point::new2(1.0, 2.0), vec![0, 1]),
+            (Point::new2(3.0, 4.0), vec![1, 2, 3]),
+            (Point::new2(5.0, 6.0), vec![7]),
+        ])
+    }
+
+    #[test]
+    fn sizes() {
+        let d = sample();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.input_size(), 6);
+        assert_eq!(d.num_keywords(), 8);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.weight(1), 3);
+    }
+
+    #[test]
+    fn map_points_keeps_docs() {
+        let d = sample();
+        let lifted = d.map_points(|_, p| p.extend(p.norm_sq()));
+        assert_eq!(lifted.dim(), 3);
+        assert_eq!(lifted.doc(1), d.doc(1));
+        assert_eq!(lifted.point(0).get(2), 5.0);
+    }
+
+    #[test]
+    fn subset_maps_ids() {
+        let d = sample();
+        let (s, map) = d.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(map, vec![2, 0]);
+        assert_eq!(s.point(0), d.point(2));
+        assert_eq!(s.doc(1), d.doc(0));
+        assert_eq!(s.input_size(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_dataset_rejected() {
+        let _ = Dataset::from_parts(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn mixed_dims_rejected() {
+        let _ = Dataset::from_parts(vec![
+            (Point::new2(0.0, 0.0), vec![0]),
+            (Point::new1(0.0), vec![0]),
+        ]);
+    }
+}

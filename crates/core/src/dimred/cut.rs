@@ -1,0 +1,147 @@
+//! `f`-balanced cuts (§4).
+//!
+//! Given a weighted object set sorted by x-coordinate and a fanout
+//! `f ≥ 2`, an `f`-balanced cut is a tuple
+//! `(D₁, …, D_f, e*₁, …, e*_{f−1})` where the `Dᵢ` are x-contiguous
+//! groups of weight at most `weight(D')/f`, separated by single pivot
+//! objects. The paper's footnote 13 gives the greedy construction
+//! implemented here: pack objects into the current group while the
+//! budget allows, emit the next object as a pivot, repeat.
+
+/// The result of an `f`-balanced cut.
+#[derive(Debug, PartialEq, Eq)]
+pub struct BalancedCut {
+    /// Non-empty groups `Dᵢ`, in x-order (empty groups are dropped —
+    /// they would create childless nodes).
+    pub groups: Vec<Vec<u32>>,
+    /// The pivot objects `e*ᵢ`, in x-order.
+    pub pivots: Vec<u32>,
+}
+
+/// Computes an `f`-balanced cut of `sorted` (object ids sorted by
+/// `(x, id)`), with `weight(o) = weights(o)`.
+///
+/// Guarantees:
+/// * groups and pivots partition `sorted`, preserving x-order;
+/// * every group's weight is at most `total/f`;
+/// * at most `f` groups are produced (each group is maximal, so each
+///   group–pivot pair exceeds `total/f`).
+///
+/// If the budget `total/f` is smaller than every object's weight, all
+/// objects become pivots and `groups` is empty — the caller makes the
+/// node a leaf, exactly as §4 prescribes ("if `D₁, …, D_f` are all
+/// empty, make `u` a leaf").
+pub fn f_balanced_cut(sorted: &[u32], f: u64, weight_of: impl Fn(u32) -> u64) -> BalancedCut {
+    assert!(f >= 2, "fanout must be at least 2");
+    let total: u64 = sorted.iter().map(|&o| weight_of(o)).sum();
+    // Work in f64: enormous fanouts (f grows doubly exponentially with
+    // the level) must drive the budget below 1, not wrap or floor-divide
+    // to a stray 0-vs-1 boundary.
+    let budget = total as f64 / f as f64;
+
+    let mut groups: Vec<Vec<u32>> = Vec::new();
+    let mut pivots: Vec<u32> = Vec::new();
+    let mut current: Vec<u32> = Vec::new();
+    let mut cum = 0u64;
+    for &o in sorted {
+        let w = weight_of(o);
+        if (cum + w) as f64 <= budget {
+            current.push(o);
+            cum += w;
+        } else {
+            // The group is maximal; `o` becomes the separating pivot.
+            if !current.is_empty() {
+                groups.push(std::mem::take(&mut current));
+            }
+            pivots.push(o);
+            cum = 0;
+        }
+    }
+    if !current.is_empty() {
+        groups.push(current);
+    }
+    BalancedCut { groups, pivots }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cut(weights: &[u64], f: u64) -> BalancedCut {
+        let ids: Vec<u32> = (0..weights.len() as u32).collect();
+        f_balanced_cut(&ids, f, |o| weights[o as usize])
+    }
+
+    #[test]
+    fn unit_weights_quarters() {
+        // 8 unit objects, f = 4 → budget 2 per group.
+        let c = cut(&[1; 8], 4);
+        assert_eq!(c.groups.len(), 3);
+        assert!(c.groups.iter().all(|g| g.len() <= 2));
+        assert_eq!(c.pivots.len(), 2);
+        // Partition preserved in order.
+        let mut all: Vec<u32> = c.groups.concat();
+        all.extend(&c.pivots);
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn group_weights_respect_budget() {
+        let weights = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3];
+        let total: u64 = weights.iter().sum(); // 39
+        for f in [2, 3, 5, 8] {
+            let c = cut(&weights, f);
+            for g in &c.groups {
+                let w: u64 = g.iter().map(|&o| weights[o as usize]).sum();
+                assert!(
+                    (w as f64) <= total as f64 / f as f64,
+                    "f={f} group weight {w}"
+                );
+            }
+            assert!(
+                c.groups.len() as u64 <= f,
+                "f={f}: {} groups",
+                c.groups.len()
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_fanout_makes_everything_pivots() {
+        let c = cut(&[2, 2, 2], 100);
+        assert!(c.groups.is_empty());
+        assert_eq!(c.pivots, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn heavy_object_becomes_pivot() {
+        // Budget is 10/2 = 5; the weight-7 object can never be packed.
+        let c = cut(&[1, 7, 1, 1], 2);
+        assert!(c.pivots.contains(&1));
+        for g in &c.groups {
+            assert!(!g.contains(&1));
+        }
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let c = cut(&[1; 20], 4);
+        let mut merged: Vec<u32> = Vec::new();
+        let mut gi = 0;
+        // Groups and pivots interleave in x-order; reconstruct by walking.
+        for (i, p) in c.pivots.iter().enumerate() {
+            if gi < c.groups.len() && c.groups[gi].last().is_some_and(|&l| l < *p) {
+                merged.extend(&c.groups[gi]);
+                gi += 1;
+            }
+            merged.push(*p);
+            let _ = i;
+        }
+        while gi < c.groups.len() {
+            merged.extend(&c.groups[gi]);
+            gi += 1;
+        }
+        assert_eq!(merged, (0..20).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,399 @@
+//! Dynamic (insert/delete) ORP-KW via the logarithmic method.
+//!
+//! The paper's indexes are static. ORP-KW, however, is a *decomposable
+//! search problem* — the answer over `A ∪ B` is the union of the
+//! answers over `A` and `B` — so the classical Bentley–Saxe
+//! logarithmic method applies: maintain static indexes over blocks of
+//! doubling sizes, insert by "binary-counter carries" that rebuild a
+//! prefix of blocks, and query every block. This multiplies query time
+//! by `O(log n)` and amortizes insertion to `O(polylog · build/n)` —
+//! the standard trade the paper leaves as engineering.
+//!
+//! Deletions are lazy: a live-handle set filters query output, and the
+//! structure is rebuilt from live objects whenever at least half of it
+//! is dead, so space stays `O(N_live)` and filtering stays `O(1)` per
+//! reported object.
+
+use skq_geom::{Point, Rect};
+use skq_invidx::Keyword;
+
+use crate::dataset::Dataset;
+use crate::fastmap::FxHashMap;
+use crate::orp::OrpKwIndex;
+use crate::stats::QueryStats;
+
+/// Handle returned by [`DynamicOrpKw::insert`], used for deletion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectHandle(u64);
+
+/// Objects buffered before the first block is formed.
+const BASE_BLOCK: usize = 128;
+
+struct Block {
+    index: OrpKwIndex,
+    /// Block-local id → handle.
+    handles: Vec<ObjectHandle>,
+    /// Retained source data, needed when the block is merged upward.
+    source: Vec<(Point, Vec<Keyword>, ObjectHandle)>,
+}
+
+/// A dynamic ORP-KW index (insertions and lazy deletions).
+///
+/// # Example
+///
+/// ```
+/// use skq_core::dynamic::DynamicOrpKw;
+/// use skq_geom::{Point, Rect};
+///
+/// let mut index = DynamicOrpKw::new(2, 2);
+/// let a = index.insert(Point::new2(1.0, 1.0), vec![0, 1]);
+/// let _b = index.insert(Point::new2(9.0, 9.0), vec![0, 1]);
+/// assert_eq!(index.query(&Rect::new(&[0.0, 0.0], &[5.0, 5.0]), &[0, 1]), vec![a]);
+/// index.delete(a);
+/// assert!(index.query(&Rect::new(&[0.0, 0.0], &[5.0, 5.0]), &[0, 1]).is_empty());
+/// ```
+pub struct DynamicOrpKw {
+    k: usize,
+    dim: usize,
+    /// `blocks[i]` holds up to `BASE_BLOCK · 2^i` objects.
+    blocks: Vec<Option<Block>>,
+    /// Insertion buffer, scanned linearly by queries (≤ `BASE_BLOCK`).
+    buffer: Vec<(Point, Vec<Keyword>, ObjectHandle)>,
+    /// The set of live handles: deletion removes from it, queries
+    /// filter against it. `O(live)` space, and — unlike a tombstone
+    /// set cleared on rebuild — re-deleting a long-dead handle stays a
+    /// correct no-op.
+    live_set: FxHashMap<u64, ()>,
+    next_handle: u64,
+}
+
+impl DynamicOrpKw {
+    /// Creates an empty dynamic index for `dim`-dimensional points and
+    /// exactly-`k`-keyword queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `dim` is unsupported.
+    pub fn new(dim: usize, k: usize) -> Self {
+        assert!(k >= 2, "k must be at least 2");
+        assert!((1..=skq_geom::MAX_DIM).contains(&dim));
+        Self {
+            k,
+            dim,
+            blocks: Vec::new(),
+            buffer: Vec::new(),
+            live_set: FxHashMap::default(),
+            next_handle: 0,
+        }
+    }
+
+    /// The number of live objects.
+    pub fn len(&self) -> usize {
+        self.live_set.len()
+    }
+
+    /// Whether no live objects remain.
+    pub fn is_empty(&self) -> bool {
+        self.live_set.is_empty()
+    }
+
+    /// Inserts an object, returning its handle. Amortized cost is one
+    /// static rebuild of `O(log n)` blocks per `n` insertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or an empty document.
+    pub fn insert(&mut self, point: Point, keywords: Vec<Keyword>) -> ObjectHandle {
+        assert_eq!(point.dim(), self.dim, "point dimension mismatch");
+        assert!(!keywords.is_empty(), "documents must be non-empty");
+        let handle = ObjectHandle(self.next_handle);
+        self.next_handle += 1;
+        self.live_set.insert(handle.0, ());
+        self.buffer.push((point, keywords, handle));
+        if self.buffer.len() >= BASE_BLOCK {
+            self.carry();
+        }
+        handle
+    }
+
+    /// Deletes an object by handle. Returns whether it was live.
+    pub fn delete(&mut self, handle: ObjectHandle) -> bool {
+        if self.live_set.remove(&handle.0).is_none() {
+            return false;
+        }
+        // Global rebuild once at least half the stored objects are dead.
+        let stored: usize = self.stored_count();
+        if stored >= 2 * BASE_BLOCK && self.live_set.len() * 2 <= stored {
+            self.rebuild();
+        }
+        true
+    }
+
+    fn stored_count(&self) -> usize {
+        self.buffer.len()
+            + self
+                .blocks
+                .iter()
+                .flatten()
+                .map(|b| b.source.len())
+                .sum::<usize>()
+    }
+
+    /// Binary-counter carry: merge the buffer with the maximal run of
+    /// occupied low blocks into the first free slot.
+    fn carry(&mut self) {
+        let mut pool: Vec<(Point, Vec<Keyword>, ObjectHandle)> = std::mem::take(&mut self.buffer);
+        let mut slot = 0usize;
+        loop {
+            if slot == self.blocks.len() {
+                self.blocks.push(None);
+            }
+            match self.blocks[slot].take() {
+                None => break,
+                Some(b) => {
+                    pool.extend(b.source);
+                    slot += 1;
+                }
+            }
+        }
+        self.blocks[slot] = Some(Self::build_block(&pool, self.k));
+    }
+
+    /// Rebuilds everything from live objects only.
+    fn rebuild(&mut self) {
+        let mut pool: Vec<(Point, Vec<Keyword>, ObjectHandle)> = std::mem::take(&mut self.buffer);
+        for b in self.blocks.iter_mut() {
+            if let Some(b) = b.take() {
+                pool.extend(b.source);
+            }
+        }
+        pool.retain(|(_, _, h)| self.live_set.contains_key(&h.0));
+        self.blocks.clear();
+        if pool.len() < BASE_BLOCK {
+            self.buffer = pool;
+            return;
+        }
+        // Place everything in the appropriate single block.
+        let slot = pool
+            .len()
+            .div_ceil(BASE_BLOCK)
+            .next_power_of_two()
+            .trailing_zeros() as usize;
+        self.blocks.resize_with(slot + 1, || None);
+        self.blocks[slot] = Some(Self::build_block(&pool, self.k));
+    }
+
+    fn build_block(pool: &[(Point, Vec<Keyword>, ObjectHandle)], k: usize) -> Block {
+        let dataset =
+            Dataset::from_parts(pool.iter().map(|(p, kws, _)| (*p, kws.clone())).collect());
+        Block {
+            index: OrpKwIndex::build(&dataset, k),
+            handles: pool.iter().map(|&(_, _, h)| h).collect(),
+            source: pool.to_vec(),
+        }
+    }
+
+    /// Reports the handles of live objects in `q` whose documents
+    /// contain all `keywords` (exactly `k` distinct).
+    pub fn query(&self, q: &Rect, keywords: &[Keyword]) -> Vec<ObjectHandle> {
+        self.query_with_stats(q, keywords).0
+    }
+
+    /// Like [`query`](Self::query) with aggregated statistics.
+    pub fn query_with_stats(
+        &self,
+        q: &Rect,
+        keywords: &[Keyword],
+    ) -> (Vec<ObjectHandle>, QueryStats) {
+        assert_eq!(q.dim(), self.dim, "query dimension mismatch");
+        let mut kws = keywords.to_vec();
+        kws.sort_unstable();
+        kws.dedup();
+        assert_eq!(kws.len(), self.k, "need exactly k distinct keywords");
+        let mut out = Vec::new();
+        let mut stats = QueryStats::new();
+        for block in self.blocks.iter().flatten() {
+            let mut local = Vec::new();
+            let mut s = QueryStats::new();
+            block
+                .index
+                .query_limited(q, &kws, usize::MAX, &mut local, &mut s);
+            stats.absorb(&s);
+            out.extend(
+                local
+                    .into_iter()
+                    .map(|i| block.handles[i as usize])
+                    .filter(|h| self.live_set.contains_key(&h.0)),
+            );
+        }
+        for (p, doc_kws, h) in &self.buffer {
+            stats.pivot_scans += 1;
+            if self.live_set.contains_key(&h.0)
+                && q.contains(p)
+                && kws.iter().all(|w| doc_kws.contains(w))
+            {
+                out.push(*h);
+            }
+        }
+        stats.reported = out.len() as u64;
+        (out, stats)
+    }
+
+    /// Number of static blocks currently alive (the `O(log n)` factor).
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.iter().flatten().count()
+    }
+
+    /// Approximate space in 64-bit words.
+    pub fn space_words(&self) -> usize {
+        let blocks: usize = self
+            .blocks
+            .iter()
+            .flatten()
+            .map(|b| b.index.space_words() + b.source.len() * (self.dim + 4))
+            .sum();
+        blocks + self.buffer.len() * (self.dim + 4) + self.live_set.len() * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use std::collections::HashMap;
+
+    /// Naive mirror for differential testing.
+    struct Mirror {
+        objects: HashMap<u64, (Point, Vec<Keyword>)>,
+    }
+
+    impl Mirror {
+        fn query(&self, q: &Rect, kws: &[Keyword]) -> Vec<ObjectHandle> {
+            let mut out: Vec<ObjectHandle> = self
+                .objects
+                .iter()
+                .filter(|(_, (p, doc))| q.contains(p) && kws.iter().all(|w| doc.contains(w)))
+                .map(|(&h, _)| ObjectHandle(h))
+                .collect();
+            out.sort();
+            out
+        }
+    }
+
+    #[test]
+    fn inserts_then_queries() {
+        let mut idx = DynamicOrpKw::new(2, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mirror = Mirror {
+            objects: HashMap::new(),
+        };
+        for _ in 0..700 {
+            let p = Point::new2(rng.gen_range(0..50) as f64, rng.gen_range(0..50) as f64);
+            let doc: Vec<Keyword> = (0..rng.gen_range(1..4))
+                .map(|_| rng.gen_range(0..6))
+                .collect();
+            let h = idx.insert(p, doc.clone());
+            mirror.objects.insert(h.0, (p, doc));
+        }
+        assert!(idx.num_blocks() >= 1);
+        for _ in 0..40 {
+            let x: f64 = rng.gen_range(0..50) as f64;
+            let y: f64 = rng.gen_range(0..50) as f64;
+            let q = Rect::new(&[x, y], &[x + 15.0, y + 15.0]);
+            let w1 = rng.gen_range(0..6);
+            let w2 = (w1 + 1 + rng.gen_range(0..5)) % 6;
+            let mut got = idx.query(&q, &[w1, w2]);
+            got.sort();
+            assert_eq!(got, mirror.query(&q, &[w1, w2]));
+        }
+    }
+
+    #[test]
+    fn mixed_inserts_deletes_queries() {
+        let mut idx = DynamicOrpKw::new(2, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mirror = Mirror {
+            objects: HashMap::new(),
+        };
+        let mut handles: Vec<ObjectHandle> = Vec::new();
+        for step in 0..2_000 {
+            let action = rng.gen_range(0..10);
+            if action < 6 || handles.is_empty() {
+                let p = Point::new2(rng.gen_range(0..40) as f64, rng.gen_range(0..40) as f64);
+                let doc: Vec<Keyword> = (0..rng.gen_range(1..4))
+                    .map(|_| rng.gen_range(0..5))
+                    .collect();
+                let h = idx.insert(p, doc.clone());
+                mirror.objects.insert(h.0, (p, doc));
+                handles.push(h);
+            } else if action < 9 {
+                let i = rng.gen_range(0..handles.len());
+                let h = handles.swap_remove(i);
+                let was_live = mirror.objects.remove(&h.0).is_some();
+                assert_eq!(idx.delete(h), was_live);
+            } else {
+                let x: f64 = rng.gen_range(0..40) as f64;
+                let y: f64 = rng.gen_range(0..40) as f64;
+                let q = Rect::new(&[x, y], &[x + 12.0, y + 12.0]);
+                let w1 = rng.gen_range(0..5);
+                let w2 = (w1 + 1 + rng.gen_range(0..4)) % 5;
+                let mut got = idx.query(&q, &[w1, w2]);
+                got.sort();
+                assert_eq!(got, mirror.query(&q, &[w1, w2]), "step {step}");
+            }
+            assert_eq!(idx.len(), mirror.objects.len());
+        }
+    }
+
+    #[test]
+    fn double_delete_is_noop() {
+        let mut idx = DynamicOrpKw::new(1, 2);
+        let h = idx.insert(Point::new1(0.0), vec![0, 1]);
+        assert!(idx.delete(h));
+        assert!(!idx.delete(h));
+        assert!(idx.is_empty());
+        assert!(idx.query(&Rect::full(1), &[0, 1]).is_empty());
+    }
+
+    #[test]
+    fn block_structure_is_logarithmic() {
+        let mut idx = DynamicOrpKw::new(2, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5_000 {
+            let p = Point::new2(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+            idx.insert(p, vec![rng.gen_range(0..8), 8]);
+        }
+        // 5000 / 128 ≈ 39 base blocks → at most ~6 block slots occupied.
+        assert!(idx.num_blocks() <= 7, "{} blocks", idx.num_blocks());
+    }
+
+    #[test]
+    fn heavy_deletion_triggers_compaction() {
+        let mut idx = DynamicOrpKw::new(2, 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut handles = Vec::new();
+        for _ in 0..2_000 {
+            let p = Point::new2(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+            handles.push(idx.insert(p, vec![rng.gen_range(0..4), 4]));
+        }
+        let before = idx.space_words();
+        for h in handles.drain(..1900) {
+            idx.delete(h);
+        }
+        assert_eq!(idx.len(), 100);
+        assert!(
+            idx.space_words() < before / 4,
+            "space did not shrink: {} -> {}",
+            before,
+            idx.space_words()
+        );
+        // Survivors still queryable.
+        assert_eq!(
+            idx.query(&Rect::full(2), &[0, 4]).len()
+                + idx.query(&Rect::full(2), &[1, 4]).len()
+                + idx.query(&Rect::full(2), &[2, 4]).len()
+                + idx.query(&Rect::full(2), &[3, 4]).len(),
+            100
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! The `k`-dimensional emptiness bit array of §3.2.
+//!
+//! At an internal node `u` with `L` large keywords, the secondary
+//! structure must answer in `O(1)`: *given `k` distinct large keywords
+//! and a child `v`, is `⋂ᵢ D_v^act(wᵢ)` empty?* The paper implements it
+//! as "a `k`-dimensional bit array where each cell indicates whether
+//! `⋂ᵢ D_v^act(wᵢ)` is empty for a distinct combination of large
+//! keywords": `L^k` bits, which is at most `N_u` bits because
+//! `L ≤ N_u^{1/k}` (§3.2). Only the cells addressed by *sorted* keyword
+//! tuples are populated and probed.
+
+/// A dense `L^k`-bit table addressed by sorted `k`-tuples of local
+/// large-keyword ids in `0..L`.
+#[derive(Clone, Debug)]
+pub struct ComboTable {
+    l: usize,
+    k: usize,
+    bits: Vec<u64>,
+}
+
+impl ComboTable {
+    /// Creates an all-empty table for `l` large keywords and tuple size
+    /// `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l < k` (no `k`-subset of fewer than `k` keywords
+    /// exists), or on absurd sizes, which the large-keyword bound
+    /// `L ≤ N_u^{1/k}` rules out for valid inputs.
+    pub fn new(l: usize, k: usize) -> Self {
+        assert!(k >= 1 && l >= k, "need at least k large keywords");
+        let cells = (l as u128).pow(k as u32);
+        assert!(
+            cells <= 1 << 40,
+            "combo table of {cells} cells exceeds the L ≤ N^(1/k) budget"
+        );
+        let words = (cells as usize).div_ceil(64);
+        Self {
+            l,
+            k,
+            bits: vec![0; words],
+        }
+    }
+
+    /// The number of large keywords `L`.
+    pub fn num_large(&self) -> usize {
+        self.l
+    }
+
+    fn index(&self, sorted_ids: &[u32]) -> usize {
+        debug_assert_eq!(sorted_ids.len(), self.k);
+        debug_assert!(
+            sorted_ids.windows(2).all(|w| w[0] < w[1]),
+            "ids must be strictly sorted"
+        );
+        let mut idx = 0usize;
+        for &id in sorted_ids {
+            debug_assert!((id as usize) < self.l);
+            idx = idx * self.l + id as usize;
+        }
+        idx
+    }
+
+    /// Marks the combination as non-empty.
+    pub fn set(&mut self, sorted_ids: &[u32]) {
+        let i = self.index(sorted_ids);
+        self.bits[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Whether the combination was marked non-empty.
+    pub fn get(&self, sorted_ids: &[u32]) -> bool {
+        let i = self.index(sorted_ids);
+        self.bits[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Space in 64-bit words (for the experiment harness's space
+    /// accounting).
+    pub fn space_words(&self) -> usize {
+        self.bits.len() + 2
+    }
+}
+
+/// Calls `f` with every strictly increasing `k`-subset of `ids`
+/// (which must be strictly sorted). Used at build time to mark the
+/// combinations realized by each object's document.
+pub fn for_each_k_subset(ids: &[u32], k: usize, f: &mut impl FnMut(&[u32])) {
+    debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    if ids.len() < k || k == 0 {
+        if k == 0 {
+            f(&[]);
+        }
+        return;
+    }
+    let mut buf = vec![0u32; k];
+    subsets_rec(ids, k, 0, 0, &mut buf, f);
+}
+
+fn subsets_rec(
+    ids: &[u32],
+    k: usize,
+    start: usize,
+    depth: usize,
+    buf: &mut Vec<u32>,
+    f: &mut impl FnMut(&[u32]),
+) {
+    if depth == k {
+        f(buf);
+        return;
+    }
+    // Prune: not enough ids left to fill the remaining slots.
+    let remaining = k - depth;
+    for i in start..=ids.len().saturating_sub(remaining) {
+        buf[depth] = ids[i];
+        subsets_rec(ids, k, i + 1, depth + 1, buf, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut t = ComboTable::new(5, 2);
+        t.set(&[1, 3]);
+        t.set(&[0, 4]);
+        assert!(t.get(&[1, 3]));
+        assert!(t.get(&[0, 4]));
+        assert!(!t.get(&[1, 4]));
+        assert!(!t.get(&[0, 1]));
+    }
+
+    #[test]
+    fn distinct_tuples_distinct_cells() {
+        let l = 6;
+        let k = 3;
+        let mut t = ComboTable::new(l, k);
+        let mut all: Vec<Vec<u32>> = Vec::new();
+        let ids: Vec<u32> = (0..l as u32).collect();
+        for_each_k_subset(&ids, k, &mut |s| all.push(s.to_vec()));
+        assert_eq!(all.len(), 20); // C(6,3)
+        for (i, s) in all.iter().enumerate() {
+            t.set(s);
+            // All tuples set so far are readable, later ones are not.
+            for (j, s2) in all.iter().enumerate() {
+                assert_eq!(t.get(s2), j <= i, "after setting {i}, tuple {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_equals_one() {
+        let mut t = ComboTable::new(3, 1);
+        t.set(&[2]);
+        assert!(t.get(&[2]));
+        assert!(!t.get(&[0]));
+    }
+
+    #[test]
+    fn subset_enumeration_counts() {
+        let ids: Vec<u32> = vec![2, 5, 7, 11];
+        let mut n = 0;
+        for_each_k_subset(&ids, 2, &mut |s| {
+            assert!(s[0] < s[1]);
+            n += 1;
+        });
+        assert_eq!(n, 6);
+        let mut n = 0;
+        for_each_k_subset(&ids, 4, &mut |_| n += 1);
+        assert_eq!(n, 1);
+        let mut n = 0;
+        for_each_k_subset(&ids, 5, &mut |_| n += 1);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least k")]
+    fn too_few_large_rejected() {
+        let _ = ComboTable::new(1, 2);
+    }
+}

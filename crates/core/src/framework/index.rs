@@ -1,0 +1,639 @@
+//! The transformed index (Steps 2–3 of the framework, §3.2–§3.3).
+
+use skq_geom::Region;
+use skq_invidx::{Document, Keyword};
+
+use crate::fastmap::FxHashMap;
+use crate::stats::QueryStats;
+
+use super::combo::{for_each_k_subset, ComboTable};
+use super::partitioner::{Partitioner, SplitOutcome};
+
+/// Build-time knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct FrameworkConfig {
+    /// Nodes whose verbose weight `N_u` is at most this become leaves
+    /// whose pivot set is their whole active set. The paper recurses to
+    /// single points; a small constant cap only changes constants while
+    /// keeping node counts (and build time) reasonable.
+    pub leaf_weight: u64,
+}
+
+impl Default for FrameworkConfig {
+    fn default() -> Self {
+        Self { leaf_weight: 24 }
+    }
+}
+
+struct Node<C> {
+    cell: C,
+    level: u32,
+    weight: u64,
+    children: Vec<u32>,
+    /// Objects stored at this node (boundary objects for internal
+    /// nodes; the whole active set for leaves).
+    pivots: Vec<u32>,
+    /// Large keywords at this node → local id in `0..L` (ids follow
+    /// ascending keyword order).
+    large: FxHashMap<Keyword, u32>,
+    /// One emptiness table per child (parallel to `children`); empty
+    /// when `L < k` (then no `k` distinct keywords can all be large).
+    combos: Vec<ComboTable>,
+    /// Materialized `D_u^act(w)` for keywords small at this node but
+    /// large at all proper ancestors. Lists exclude this node's pivots
+    /// (those are reported by the visit itself), so reporting never
+    /// duplicates. A keyword that qualifies but has an empty list is
+    /// simply absent.
+    materialized: FxHashMap<Keyword, Vec<u32>>,
+}
+
+/// A keyword-transformed space-partitioning index (§3.2).
+///
+/// Generic over the geometry via [`Partitioner`]; the query side is
+/// generic over the query shape via a cell-classification closure and a
+/// point-acceptance closure, so a single tree answers rectangles,
+/// halfspace conjunctions, simplices, or lifted balls.
+pub struct TransformedIndex<P: Partitioner> {
+    partitioner: P,
+    docs: Vec<Document>,
+    nodes: Vec<Node<P::Cell>>,
+    k: usize,
+    config: FrameworkConfig,
+    total_weight: u64,
+}
+
+impl<P: Partitioner> TransformedIndex<P> {
+    /// Builds the index for exactly-`k`-keyword queries.
+    ///
+    /// `docs[i]` is the document of object `i`; the partitioner owns the
+    /// matching coordinates. `N = Σ |docs[i]|` is the paper's input
+    /// size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` (the paper fixes `k ≥ 2`) or `docs` is empty.
+    pub fn build(partitioner: P, docs: Vec<Document>, k: usize, config: FrameworkConfig) -> Self {
+        assert!(k >= 2, "the framework requires k >= 2 query keywords");
+        assert!(
+            k <= 16,
+            "k > 16 keywords is unsupported (and pointless: the bound degrades to O(N))"
+        );
+        assert!(!docs.is_empty(), "cannot index an empty dataset");
+        let all: Vec<u32> = (0..docs.len() as u32).collect();
+        let total_weight = partitioner.total_weight(&all);
+        let mut index = Self {
+            partitioner,
+            docs,
+            nodes: Vec::new(),
+            k,
+            config,
+            total_weight,
+        };
+        let root_cell = index.partitioner.root_cell();
+        // At the root every keyword is trivially "large at all (zero)
+        // proper ancestors", i.e. a materialization candidate.
+        let candidates: Vec<Keyword> = {
+            let mut ws: Vec<Keyword> = index
+                .docs
+                .iter()
+                .flat_map(|d| d.keywords().iter().copied())
+                .collect();
+            ws.sort_unstable();
+            ws.dedup();
+            ws
+        };
+        index.build_node(root_cell, all, 0, &candidates);
+        index
+    }
+
+    /// Recursively builds the subtree over `objects`; returns the node id.
+    fn build_node(
+        &mut self,
+        cell: P::Cell,
+        objects: Vec<u32>,
+        level: u32,
+        candidates: &[Keyword],
+    ) -> u32 {
+        let weight = self.partitioner.total_weight(&objects);
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            cell,
+            level,
+            weight,
+            children: Vec::new(),
+            pivots: Vec::new(),
+            large: FxHashMap::default(),
+            combos: Vec::new(),
+            materialized: FxHashMap::default(),
+        });
+
+        // Leaf: store the whole active set as pivots; a visit scans them
+        // all, so no keyword machinery is needed.
+        let outcome = if weight <= self.config.leaf_weight {
+            None
+        } else {
+            let cell_ref = self.nodes[id as usize].cell.clone();
+            self.partitioner.split(&cell_ref, &objects, level as usize)
+        };
+        let Some(SplitOutcome { pivots, children }) = outcome else {
+            self.nodes[id as usize].pivots = objects;
+            return id;
+        };
+        if children.is_empty() {
+            // The split degenerated to "everything is a boundary object".
+            self.nodes[id as usize].pivots = pivots;
+            return id;
+        }
+
+        // --- Large/small classification at this node (§3.2). ---
+        // Count |D_u^act(w)| for the materialization candidates (keywords
+        // large at every proper ancestor — others can never be needed
+        // here, because a query only descends while all its keywords
+        // stay large).
+        let tau = (weight as f64).powf(1.0 - 1.0 / self.k as f64);
+        let mut counts: FxHashMap<Keyword, u64> = FxHashMap::default();
+        for &o in pivots.iter().chain(children.iter().flat_map(|(_, c)| c)) {
+            for &w in self.docs[o as usize].keywords() {
+                *counts.entry(w).or_insert(0) += 1;
+            }
+        }
+        let mut large_list: Vec<Keyword> = Vec::new();
+        let mut small_set: Vec<Keyword> = Vec::new();
+        for &w in candidates {
+            match counts.get(&w) {
+                Some(&c) if (c as f64) >= tau => large_list.push(w),
+                Some(_) => small_set.push(w),
+                None => {} // empty list: absence means empty at query time
+            }
+        }
+        debug_assert!(
+            (large_list.len() as f64) <= (weight as f64).powf(1.0 / self.k as f64) + 1.0,
+            "more than N_u^(1/k) large keywords"
+        );
+        let large: FxHashMap<Keyword, u32> = large_list
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (w, i as u32))
+            .collect();
+
+        // --- Materialized lists: small here, large at all ancestors. ---
+        // Built over the children's active sets only (pivots are scanned
+        // by every visit anyway; excluding them avoids double reports).
+        let mut materialized: FxHashMap<Keyword, Vec<u32>> = FxHashMap::default();
+        if !small_set.is_empty() {
+            small_set.sort_unstable();
+            for (_, child_objs) in &children {
+                for &o in child_objs {
+                    for &w in self.docs[o as usize].keywords() {
+                        if small_set.binary_search(&w).is_ok() {
+                            materialized.entry(w).or_default().push(o);
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Per-child emptiness tables over large-keyword k-tuples. ---
+        let l = large_list.len();
+        let mut combos: Vec<ComboTable> = Vec::new();
+        if l >= self.k {
+            for (_, child_objs) in &children {
+                let mut table = ComboTable::new(l, self.k);
+                let mut local: Vec<u32> = Vec::new();
+                for &o in child_objs {
+                    local.clear();
+                    for &w in self.docs[o as usize].keywords() {
+                        if let Some(&lid) = large.get(&w) {
+                            local.push(lid);
+                        }
+                    }
+                    local.sort_unstable();
+                    for_each_k_subset(&local, self.k, &mut |subset| table.set(subset));
+                }
+                combos.push(table);
+            }
+        }
+
+        {
+            let node = &mut self.nodes[id as usize];
+            node.pivots = pivots;
+            node.large = large;
+            node.combos = combos;
+            node.materialized = materialized;
+        }
+
+        // --- Recurse; children inherit the large keywords as candidates.
+        let child_ids: Vec<u32> = children
+            .into_iter()
+            .map(|(ccell, cobjs)| self.build_node(ccell, cobjs, level + 1, &large_list))
+            .collect();
+        self.nodes[id as usize].children = child_ids;
+        id
+    }
+
+    /// The fixed number of query keywords `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The number of tree nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The tree height (max level).
+    pub fn height(&self) -> usize {
+        self.nodes.iter().map(|n| n.level).max().unwrap_or(0) as usize
+    }
+
+    /// Total verbose weight `N`.
+    pub fn input_size(&self) -> u64 {
+        self.total_weight
+    }
+
+    /// The partitioner (and through it, the indexed coordinates).
+    pub fn partitioner(&self) -> &P {
+        &self.partitioner
+    }
+
+    /// Index space in 64-bit words: tree skeleton, pivot ids, large
+    /// tables, emptiness bit arrays, and materialized lists. Cells are
+    /// charged a constant via `cell_words`.
+    pub fn space_words(&self, cell_words: usize) -> usize {
+        let mut total = 0usize;
+        for n in &self.nodes {
+            total += 6 + cell_words; // fixed per-node fields
+            total += n.children.len();
+            total += n.pivots.len();
+            total += n.large.len() * 2;
+            total += n.combos.iter().map(ComboTable::space_words).sum::<usize>();
+            total += n.materialized.values().map(|v| v.len() + 2).sum::<usize>();
+        }
+        total
+    }
+
+    /// Answers a `k`-keyword query.
+    ///
+    /// * `keywords` — exactly `k` distinct keywords;
+    /// * `classify` — cell-vs-query classification (conservative allowed);
+    /// * `accept` — exact point-in-query test by object id;
+    /// * `limit` — stop after this many results (used by the
+    ///   threshold/emptiness queries of Corollaries 4 and 7; pass
+    ///   `usize::MAX` to report everything);
+    /// * `out` — results are appended (object ids, no duplicates);
+    /// * `stats` — execution counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keywords` does not contain exactly `k` distinct
+    /// values.
+    pub fn query(
+        &self,
+        keywords: &[Keyword],
+        classify: &dyn Fn(&P::Cell) -> Region,
+        accept: &dyn Fn(u32) -> bool,
+        limit: usize,
+        out: &mut Vec<u32>,
+        stats: &mut QueryStats,
+    ) {
+        let mut kws = keywords.to_vec();
+        kws.sort_unstable();
+        kws.dedup();
+        assert_eq!(
+            kws.len(),
+            self.k,
+            "the index was built for exactly {} distinct keywords",
+            self.k
+        );
+        if limit == 0 {
+            return;
+        }
+        let root_region = classify(&self.nodes[0].cell);
+        if root_region == Region::Disjoint {
+            return;
+        }
+        self.visit(0, root_region, &kws, classify, accept, limit, out, stats);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn visit(
+        &self,
+        node_id: u32,
+        region: Region,
+        kws: &[Keyword],
+        classify: &dyn Fn(&P::Cell) -> Region,
+        accept: &dyn Fn(u32) -> bool,
+        limit: usize,
+        out: &mut Vec<u32>,
+        stats: &mut QueryStats,
+    ) {
+        let node = &self.nodes[node_id as usize];
+        stats.nodes_visited += 1;
+        match region {
+            Region::Covered => stats.covered_nodes += 1,
+            Region::Crossing => {
+                stats.crossing_nodes += 1;
+                QueryStats::bump(&mut stats.crossing_by_level, node.level as usize);
+            }
+            Region::Disjoint => unreachable!("disjoint nodes are never visited"),
+        }
+
+        // Scan the pivot set (every visit does; §3.3 "to visit a node").
+        for &e in &node.pivots {
+            stats.pivot_scans += 1;
+            if self.docs[e as usize].contains_all(kws) && accept(e) {
+                out.push(e);
+                stats.reported += 1;
+                if out.len() >= limit {
+                    return;
+                }
+            }
+        }
+        if node.children.is_empty() {
+            return;
+        }
+
+        // Are all k keywords large at this node?
+        let mut local = [0u32; 16];
+        debug_assert!(self.k <= 16);
+        let mut all_large = true;
+        for (slot, &w) in local.iter_mut().zip(kws) {
+            match node.large.get(&w) {
+                Some(&lid) => *slot = lid,
+                None => {
+                    all_large = false;
+                    break;
+                }
+            }
+        }
+
+        if all_large {
+            let ids = &mut local[..self.k];
+            ids.sort_unstable();
+            debug_assert!(
+                !node.combos.is_empty(),
+                "k distinct large keywords imply L >= k"
+            );
+            for (ci, &child) in node.children.iter().enumerate() {
+                if !node.combos[ci].get(ids) {
+                    continue; // ⋂ D_v^act(w_i) = ∅ — skip the subtree
+                }
+                let child_region = match region {
+                    Region::Covered => Region::Covered,
+                    _ => classify(&self.nodes[child as usize].cell),
+                };
+                if child_region != Region::Disjoint {
+                    self.visit(
+                        child,
+                        child_region,
+                        kws,
+                        classify,
+                        accept,
+                        limit,
+                        out,
+                        stats,
+                    );
+                    if out.len() >= limit {
+                        return;
+                    }
+                }
+            }
+        } else {
+            // Small path: some keyword is small here, hence materialized
+            // here (it was large at every ancestor, or we would not have
+            // descended). Scan the shortest such list.
+            stats.small_path_nodes += 1;
+            let list: &[u32] = kws
+                .iter()
+                .filter(|w| !node.large.contains_key(w))
+                .map(|w| node.materialized.get(w).map(Vec::as_slice).unwrap_or(&[]))
+                .min_by_key(|l| l.len())
+                .unwrap_or(&[]);
+            for &e in list {
+                stats.list_scans += 1;
+                if self.docs[e as usize].contains_all(kws) && accept(e) {
+                    out.push(e);
+                    stats.reported += 1;
+                    if out.len() >= limit {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Iterates over `(level, weight, num_pivots, num_large)` per node —
+    /// diagnostics for the invariants the property tests assert.
+    pub fn node_summaries(&self) -> impl Iterator<Item = (u32, u64, usize, usize)> + '_ {
+        self.nodes
+            .iter()
+            .map(|n| (n.level, n.weight, n.pivots.len(), n.large.len()))
+    }
+
+    /// Verifies the structural invariants of §3.2; returns a violation
+    /// description if any. Used by tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.check_invariants_with(true)
+    }
+
+    /// Like [`check_invariants`](Self::check_invariants); pass
+    /// `require_balance = false` for partitioners without a
+    /// weight-halving guarantee (the midpoint quadtree).
+    pub fn check_invariants_with(&self, require_balance: bool) -> Result<(), String> {
+        for (i, n) in self.nodes.iter().enumerate() {
+            // Large-keyword bound L ≤ N_u^(1/k) (+1 for float rounding).
+            let cap = (n.weight as f64).powf(1.0 / self.k as f64) + 1.0;
+            if n.large.len() as f64 > cap {
+                return Err(format!(
+                    "node {i}: {} large keywords exceeds N_u^(1/k) = {cap}",
+                    n.large.len()
+                ));
+            }
+            // Materialized lists must be shorter than the threshold.
+            let tau = (n.weight as f64).powf(1.0 - 1.0 / self.k as f64);
+            for (w, list) in &n.materialized {
+                if list.len() as f64 >= tau + 1.0 {
+                    return Err(format!(
+                        "node {i}: materialized list for {w} has {} ≥ τ = {tau}",
+                        list.len()
+                    ));
+                }
+            }
+            // Children carry at most half the weight (median-split
+            // partitioners only).
+            if require_balance {
+                for &c in &n.children {
+                    let cw = self.nodes[c as usize].weight;
+                    if cw * 2 > n.weight {
+                        return Err(format!(
+                            "node {i}: child weight {cw} exceeds half of {}",
+                            n.weight
+                        ));
+                    }
+                }
+            }
+            // Combo tables parallel children when present.
+            if !n.combos.is_empty() && n.combos.len() != n.children.len() {
+                return Err(format!("node {i}: combo/children length mismatch"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::KdPartitioner;
+    use skq_geom::Point;
+
+    /// A 1D framework index over object ids — the minimal harness for
+    /// exercising the large/small machinery directly.
+    fn build_1d(
+        docs: Vec<Vec<Keyword>>,
+        k: usize,
+        leaf_weight: u64,
+    ) -> TransformedIndex<KdPartitioner> {
+        let points: Vec<Point> = (0..docs.len()).map(|i| Point::new1(i as f64)).collect();
+        let docs: Vec<Document> = docs.into_iter().map(Document::new).collect();
+        let weights: Vec<u64> = docs.iter().map(|d| d.len() as u64).collect();
+        TransformedIndex::build(
+            KdPartitioner::new(points, weights),
+            docs,
+            k,
+            FrameworkConfig { leaf_weight },
+        )
+    }
+
+    fn run(tree: &TransformedIndex<KdPartitioner>, kws: &[Keyword], limit: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut stats = QueryStats::new();
+        tree.query(
+            kws,
+            &|_| Region::Covered,
+            &|_| true,
+            limit,
+            &mut out,
+            &mut stats,
+        );
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let tree = build_1d(vec![vec![0, 1], vec![0], vec![1]], 2, 1000);
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(run(&tree, &[0, 1], usize::MAX), vec![0]);
+        assert_eq!(run(&tree, &[0, 1], 0), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn all_large_path_uses_combo_tables() {
+        // Every object has both keywords → both keywords are large
+        // everywhere; descent is steered purely by the bit tables.
+        let docs: Vec<Vec<Keyword>> = (0..64).map(|_| vec![0, 1]).collect();
+        let tree = build_1d(docs, 2, 4);
+        assert!(tree.num_nodes() > 10);
+        let got = run(&tree, &[0, 1], usize::MAX);
+        assert_eq!(got, (0..64).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn small_path_scans_materialized_list() {
+        // Keyword 9 appears in exactly 3 of 256 docs → small at the
+        // root → the query must terminate there via the list.
+        let mut docs: Vec<Vec<Keyword>> = (0..256).map(|i| vec![i % 4]).collect();
+        for i in [10usize, 100, 200] {
+            docs[i].push(9);
+        }
+        let tree = build_1d(docs, 2, 4);
+        let mut out = Vec::new();
+        let mut stats = QueryStats::new();
+        tree.query(
+            &[0, 9],
+            &|_| Region::Covered,
+            &|_| true,
+            usize::MAX,
+            &mut out,
+            &mut stats,
+        );
+        out.sort_unstable();
+        assert_eq!(out, vec![100, 200]); // 10 % 4 != 0, so only 100 and 200
+        assert_eq!(stats.small_path_nodes, 1, "must stop at the root");
+        assert!(stats.list_scans <= 3);
+    }
+
+    #[test]
+    fn limit_stops_mid_list() {
+        let docs: Vec<Vec<Keyword>> = (0..32).map(|_| vec![0, 1]).collect();
+        let tree = build_1d(docs, 2, 4);
+        let got = run(&tree, &[0, 1], 5);
+        assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn geometry_pruning_respects_classifier() {
+        let docs: Vec<Vec<Keyword>> = (0..64).map(|_| vec![0, 1]).collect();
+        let tree = build_1d(docs, 2, 4);
+        // Accept only ids < 10, prune cells entirely right of 10.
+        let mut out = Vec::new();
+        let mut stats = QueryStats::new();
+        tree.query(
+            &[0, 1],
+            &|cell| {
+                if cell.lo(0) > 10.0 {
+                    Region::Disjoint
+                } else if cell.hi(0) <= 10.0 {
+                    Region::Covered
+                } else {
+                    Region::Crossing
+                }
+            },
+            &|o| o < 10,
+            usize::MAX,
+            &mut out,
+            &mut stats,
+        );
+        out.sort_unstable();
+        assert_eq!(out, (0..10).collect::<Vec<u32>>());
+        assert!(stats.nodes_visited < tree.num_nodes() as u64 / 2);
+    }
+
+    #[test]
+    fn absent_keyword_is_empty_fast() {
+        let docs: Vec<Vec<Keyword>> = (0..128).map(|_| vec![0, 1]).collect();
+        let tree = build_1d(docs, 2, 4);
+        let mut out = Vec::new();
+        let mut stats = QueryStats::new();
+        tree.query(
+            &[0, 777],
+            &|_| Region::Covered,
+            &|_| true,
+            usize::MAX,
+            &mut out,
+            &mut stats,
+        );
+        assert!(out.is_empty());
+        assert_eq!(
+            stats.nodes_visited, 1,
+            "missing keyword resolves at the root"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn k1_rejected() {
+        let _ = build_1d(vec![vec![0]], 1, 4);
+    }
+
+    #[test]
+    fn space_accounting_is_positive_and_bounded() {
+        let docs: Vec<Vec<Keyword>> = (0..512).map(|i| vec![i % 16, 16 + (i % 8)]).collect();
+        let tree = build_1d(docs, 2, 8);
+        let words = tree.space_words(3);
+        assert!(words > 512);
+        assert!(words < 200 * 1024, "space {words}");
+        tree.check_invariants().unwrap();
+    }
+}

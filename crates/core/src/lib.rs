@@ -1,0 +1,83 @@
+//! Keyword-search indexes with structured constraints.
+//!
+//! This crate implements the indexes of
+//!
+//! > Shangqi Lu and Yufei Tao. *Indexing for Keyword Search with
+//! > Structured Constraints.* PODS 2023.
+//!
+//! The input is a set `D` of objects, each a point in `R^d` carrying a
+//! non-empty document (a set of integer keywords). A query combines `k`
+//! keywords with a geometric predicate; the indexes here answer such
+//! queries in `~O(N^{1−1/k} · (1 + OUT^{1/k}))` time with (near-)linear
+//! space, where `N = Σ_e |e.Doc|` is the input size and `OUT` the output
+//! size — beating both naive solutions ("evaluate the geometry then
+//! filter keywords" and vice versa) whenever `OUT = o(N)`.
+//!
+//! # Modules
+//!
+//! * [`dataset`] — input representation (`D`, `N`, `W`).
+//! * [`framework`] — §3's four-step transformation framework, generic
+//!   over a space-partitioning strategy (kd-tree and Willard partition
+//!   tree included).
+//! * [`dimred`] — §4's dimension-reduction technique (Theorem 2).
+//! * One module per problem: [`orp`] (Theorems 1–2), [`rr`]
+//!   (Corollary 3), [`nn_linf`] (Corollary 4), [`sp`]/[`lc`]
+//!   (Theorems 5/12), [`srp`] (Corollary 6), [`nn_l2`] (Corollary 7),
+//!   and [`ksi`] (§1.2's pure `k`-set intersection).
+//! * [`naive`] — the two naive baselines plus a full scan, for every
+//!   problem.
+//! * [`dynamic`] — insertions/deletions via the logarithmic method
+//!   (ORP-KW is a decomposable search problem).
+//! * [`planner`] — a cost-based choice among the three strategies.
+//! * [`suite`] — one index per `k ∈ 2..=k_max`, routed automatically.
+//! * [`stats`] — query-execution statistics used by the experiment
+//!   harness to measure the quantities in the paper's analysis
+//!   (covered/crossing nodes of §3.3, type-1/type-2 nodes of §4).
+//!
+//! # Example
+//!
+//! ```
+//! use skq_core::dataset::Dataset;
+//! use skq_core::orp::OrpKwIndex;
+//! use skq_geom::{Point, Rect};
+//!
+//! // Hotels: (price, rating) plus feature tags as integer keywords.
+//! const POOL: u32 = 0;
+//! const PARKING: u32 = 1;
+//! let dataset = Dataset::from_parts(vec![
+//!     (Point::new2(120.0, 8.5), vec![POOL, PARKING]),
+//!     (Point::new2(180.0, 9.0), vec![POOL]),
+//!     (Point::new2(150.0, 8.8), vec![PARKING, POOL]),
+//! ]);
+//!
+//! let index = OrpKwIndex::build(&dataset, 2);
+//! let q = Rect::new(&[100.0, 8.0], &[200.0, 10.0]);
+//! let mut hits = index.query(&q, &[POOL, PARKING]);
+//! hits.sort_unstable();
+//! assert_eq!(hits, vec![0, 2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod dataset;
+pub mod dimred;
+pub mod dynamic;
+pub mod fastmap;
+pub mod framework;
+pub mod ksi;
+pub mod lc;
+pub mod naive;
+pub mod nn_l2;
+pub mod nn_linf;
+pub mod orp;
+pub mod planner;
+pub mod rr;
+pub mod sp;
+pub mod srp;
+pub mod stats;
+pub mod suite;
+
+pub use dataset::Dataset;
+pub use stats::QueryStats;

@@ -1,0 +1,426 @@
+//! `L∞` nearest neighbours with keywords (L∞NN-KW; Corollary 4).
+//!
+//! Given a point `q`, an integer `t ≥ 1`, and `k` keywords, return `t`
+//! matching objects closest to `q` under the `L∞` distance. Corollary
+//! 4's algorithm: the `L∞`-ball `B(q, r)` is a `d`-rectangle, so an
+//! ORP-KW query with output limit `t` decides "are there ≥ t matches
+//! within radius `r`?" in `O(N^{1−1/k}·t^{1/k})` time; binary-searching
+//! `r` over the `O(N)` *candidate radii* — per-dimension coordinate
+//! differences `|q[i] − e[i]|`, one of which must be the `t`-th NN
+//! distance — takes `O(log N)` such tests.
+
+use skq_geom::{Point, Rect};
+use skq_invidx::Keyword;
+
+use crate::dataset::Dataset;
+use crate::lc::LcKwIndex;
+use crate::orp::OrpKwIndex;
+use crate::stats::QueryStats;
+
+/// The `L∞`-ball `B(q, r)` as a rectangle, rounded *outward* by one
+/// ulp per side: candidate radii are computed as `|q[i] − x|`, whose
+/// rounding need not agree with `q[i] ± r`, and an inward-rounded
+/// rectangle could exclude the very boundary object that defines the
+/// radius. Outward rounding only admits boundary-adjacent extras, which
+/// the final re-ranking by true distance discards.
+fn outward_ball(q: &Point, r: f64) -> Rect {
+    let lo: Vec<f64> = q.coords().iter().map(|c| (c - r).next_down()).collect();
+    let hi: Vec<f64> = q.coords().iter().map(|c| (c + r).next_up()).collect();
+    Rect::new(&lo, &hi)
+}
+
+/// The rectangle engine behind the threshold queries: the default
+/// ORP-KW route (Theorems 1–2) or footnote 3's linear-space LC-KW
+/// route (pays an extra `log N` term, saves the `(log log N)^{d−2}`
+/// space factor for `d ≥ 3`).
+enum RectEngine {
+    Orp(OrpKwIndex),
+    Lc(LcKwIndex),
+}
+
+impl RectEngine {
+    fn query_limited(
+        &self,
+        q: &Rect,
+        keywords: &[skq_invidx::Keyword],
+        limit: usize,
+        out: &mut Vec<u32>,
+        stats: &mut QueryStats,
+    ) {
+        match self {
+            RectEngine::Orp(i) => i.query_limited(q, keywords, limit, out, stats),
+            RectEngine::Lc(i) => {
+                let poly = skq_geom::ConvexPolytope::from_rect(q);
+                let mut constraints = Vec::new();
+                constraints.extend_from_slice(poly.halfspaces());
+                i.query_limited(&constraints, keywords, limit, out, stats);
+            }
+        }
+    }
+
+    fn space_words(&self) -> usize {
+        match self {
+            RectEngine::Orp(i) => i.space_words(),
+            RectEngine::Lc(i) => i.space_words(),
+        }
+    }
+}
+
+/// The L∞NN-KW index.
+///
+/// # Example
+///
+/// ```
+/// use skq_core::dataset::Dataset;
+/// use skq_core::nn_linf::LinfNnIndex;
+/// use skq_geom::Point;
+///
+/// let data = Dataset::from_parts(vec![
+///     (Point::new2(1.0, 0.0), vec![0, 1]),
+///     (Point::new2(5.0, 0.0), vec![0, 1]),
+///     (Point::new2(2.0, 0.0), vec![0]), // missing keyword 1
+/// ]);
+/// let index = LinfNnIndex::build(&data, 2);
+/// // Nearest matching object to the origin.
+/// assert_eq!(index.query(&Point::new2(0.0, 0.0), 1, &[0, 1]), vec![0]);
+/// ```
+pub struct LinfNnIndex {
+    engine: RectEngine,
+    /// Per-dimension sorted coordinates — the paper's "d binary search
+    /// trees, each created on the coordinates of a different dimension",
+    /// used to select candidate radii by rank.
+    sorted_coords: Vec<Vec<f64>>,
+    points: Vec<Point>,
+    dim: usize,
+}
+
+impl LinfNnIndex {
+    /// Builds the index for exactly-`k`-keyword queries (ORP-KW
+    /// threshold engine — Corollary 4 as stated).
+    pub fn build(dataset: &Dataset, k: usize) -> Self {
+        Self::build_inner(dataset, RectEngine::Orp(OrpKwIndex::build(dataset, k)))
+    }
+
+    /// The linear-space variant of footnote 3: LC-KW threshold engine,
+    /// `O(N)` space in any dimension at the cost of a `log N` factor.
+    pub fn build_linear(dataset: &Dataset, k: usize) -> Self {
+        Self::build_inner(dataset, RectEngine::Lc(LcKwIndex::build(dataset, k)))
+    }
+
+    fn build_inner(dataset: &Dataset, engine: RectEngine) -> Self {
+        let dim = dataset.dim();
+        let mut sorted_coords = Vec::with_capacity(dim);
+        for d in 0..dim {
+            let mut col: Vec<f64> = dataset.points().iter().map(|p| p.get(d)).collect();
+            col.sort_by(f64::total_cmp);
+            sorted_coords.push(col);
+        }
+        Self {
+            engine,
+            sorted_coords,
+            points: dataset.points().to_vec(),
+            dim,
+        }
+    }
+
+    /// The number of query keywords the index was built for.
+    pub fn k(&self) -> usize {
+        match &self.engine {
+            RectEngine::Orp(i) => i.k(),
+            RectEngine::Lc(i) => i.k(),
+        }
+    }
+
+    /// Returns up to `t` matching objects nearest to `q` under `L∞`
+    /// distance, sorted by `(distance, id)`. Fewer than `t` are
+    /// returned only when fewer objects match the keywords at all.
+    pub fn query(&self, q: &Point, t: usize, keywords: &[Keyword]) -> Vec<u32> {
+        self.query_with_stats(q, t, keywords).0
+    }
+
+    /// Like [`query`](Self::query) with aggregate statistics over all
+    /// the internal threshold queries.
+    pub fn query_with_stats(
+        &self,
+        q: &Point,
+        t: usize,
+        keywords: &[Keyword],
+    ) -> (Vec<u32>, QueryStats) {
+        assert_eq!(q.dim(), self.dim, "query dimension mismatch");
+        let mut stats = QueryStats::new();
+        if t == 0 {
+            return (Vec::new(), stats);
+        }
+
+        // Are there t matches at all? Probe with the maximal radius.
+        let n = self.points.len();
+        let total_candidates = self.dim * n;
+        let r_max = self.candidate_by_rank(q, total_candidates - 1);
+        if !self.threshold(q, r_max, keywords, t, &mut stats) {
+            // Fewer than t matches exist: return all of them.
+            let ball = outward_ball(q, r_max);
+            let mut all = Vec::new();
+            self.engine
+                .query_limited(&ball, keywords, usize::MAX, &mut all, &mut stats);
+            return (self.rank_by_distance(q, all, usize::MAX), stats);
+        }
+
+        // Binary search the candidate-radius rank for the minimal radius
+        // admitting ≥ t matches.
+        let mut lo = 0usize;
+        let mut hi = total_candidates - 1;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let r = self.candidate_by_rank(q, mid);
+            if self.threshold(q, r, keywords, t, &mut stats) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let r_star = self.candidate_by_rank(q, lo);
+
+        // Collect everything within r* and rank by true distance.
+        let ball = outward_ball(q, r_star);
+        let mut hits = Vec::new();
+        self.engine
+            .query_limited(&ball, keywords, usize::MAX, &mut hits, &mut stats);
+        let ranked = self.rank_by_distance(q, hits, t);
+
+        // Closure pass: re-collect at the t-th hit's actual distance
+        // (nudged up a few ulps). This pins down boundary cases where
+        // the rectangle arithmetic of the threshold ball and the
+        // distance arithmetic of the ranking disagree by an ulp.
+        let d_t = self.points[*ranked.last().expect("t >= 1 hits") as usize].linf(q);
+        let ball = outward_ball(q, f64::from_bits(d_t.to_bits() + 4));
+        let mut hits = Vec::new();
+        self.engine
+            .query_limited(&ball, keywords, usize::MAX, &mut hits, &mut stats);
+        (self.rank_by_distance(q, hits, t), stats)
+    }
+
+    /// "Are there at least `t` matches within radius `r`?" — the
+    /// early-terminating ORP-KW threshold query of Corollary 4.
+    fn threshold(
+        &self,
+        q: &Point,
+        r: f64,
+        keywords: &[Keyword],
+        t: usize,
+        stats: &mut QueryStats,
+    ) -> bool {
+        let ball = outward_ball(q, r);
+        let mut out = Vec::new();
+        self.engine
+            .query_limited(&ball, keywords, t, &mut out, stats);
+        out.len() >= t
+    }
+
+    /// The `rank`-th smallest candidate radius (0-based), i.e. the
+    /// `rank`-th smallest value of `|q[i] − x|` over all dimensions `i`
+    /// and stored coordinates `x`. Binary search over the (monotone)
+    /// bit representation of non-negative `f64`s, counting with the
+    /// same `|q[i] − x|` arithmetic used everywhere else, so the result
+    /// is an exactly attained candidate value.
+    fn candidate_by_rank(&self, q: &Point, rank: usize) -> f64 {
+        let mut lo_bits = 0u64;
+        let mut hi_bits = f64::INFINITY.to_bits();
+        while lo_bits < hi_bits {
+            let mid = lo_bits + (hi_bits - lo_bits) / 2;
+            let r = f64::from_bits(mid);
+            if self.count_candidates_le(q, r) > rank {
+                hi_bits = mid;
+            } else {
+                lo_bits = mid + 1;
+            }
+        }
+        f64::from_bits(lo_bits)
+    }
+
+    /// Number of candidate radii `≤ r`.
+    fn count_candidates_le(&self, q: &Point, r: f64) -> usize {
+        let mut total = 0usize;
+        for d in 0..self.dim {
+            let col = &self.sorted_coords[d];
+            let qc = q.get(d);
+            // Coordinates below q: distance qc − x decreases with x.
+            let split = col.partition_point(|&x| x < qc);
+            let left_far = col[..split].partition_point(|&x| (qc - x).abs() > r);
+            total += split - left_far;
+            // Coordinates at or above q: distance x − qc increases.
+            let right_near = col[split..].partition_point(|&x| (qc - x).abs() <= r);
+            total += right_near;
+        }
+        total
+    }
+
+    /// Sorts `ids` by `(L∞ distance to q, id)` and truncates to `t`.
+    fn rank_by_distance(&self, q: &Point, mut ids: Vec<u32>, t: usize) -> Vec<u32> {
+        ids.sort_unstable_by(|&a, &b| {
+            self.points[a as usize]
+                .linf(q)
+                .total_cmp(&self.points[b as usize].linf(q))
+                .then(a.cmp(&b))
+        });
+        ids.truncate(t);
+        ids
+    }
+
+    /// Index space in 64-bit words.
+    pub fn space_words(&self) -> usize {
+        self.engine.space_words() + self.dim * self.points.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_dataset(n: usize, dim: usize, vocab: u32, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::from_parts(
+            (0..n)
+                .map(|_| {
+                    let coords: Vec<f64> = (0..dim).map(|_| rng.gen_range(-50.0..50.0)).collect();
+                    let doc: Vec<Keyword> = (0..rng.gen_range(1..5))
+                        .map(|_| rng.gen_range(0..vocab))
+                        .collect();
+                    (Point::new(&coords), doc)
+                })
+                .collect(),
+        )
+    }
+
+    /// Brute-force t-NN: all matching objects sorted by (L∞, id).
+    fn brute(dataset: &Dataset, q: &Point, t: usize, kws: &[Keyword]) -> Vec<u32> {
+        let mut ids: Vec<u32> = (0..dataset.len() as u32)
+            .filter(|&i| dataset.doc(i as usize).contains_all(kws))
+            .collect();
+        ids.sort_unstable_by(|&a, &b| {
+            dataset
+                .point(a as usize)
+                .linf(q)
+                .total_cmp(&dataset.point(b as usize).linf(q))
+                .then(a.cmp(&b))
+        });
+        ids.truncate(t);
+        ids
+    }
+
+    #[test]
+    fn matches_bruteforce_2d() {
+        let dataset = random_dataset(300, 2, 8, 1);
+        let index = LinfNnIndex::build(&dataset, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..40 {
+            let q = Point::new2(rng.gen_range(-60.0..60.0), rng.gen_range(-60.0..60.0));
+            let t = rng.gen_range(1..8);
+            let w1 = rng.gen_range(0..8);
+            let w2 = (w1 + 1 + rng.gen_range(0..7)) % 8;
+            let got = index.query(&q, t, &[w1, w2]);
+            let expected = brute(&dataset, &q, t, &[w1, w2]);
+            // Sets of distances must agree (ties at the boundary may pick
+            // different ids only if distances tie — with the (dist, id)
+            // order both sides are deterministic).
+            assert_eq!(got, expected, "q={q:?} t={t} kws=[{w1},{w2}]");
+        }
+    }
+
+    #[test]
+    fn linear_variant_matches_default_3d() {
+        // Footnote 3: the LC-route engine answers identically with
+        // linear space (the answer sets must be equal; space is smaller
+        // by the dimension-reduction factor).
+        let dataset = random_dataset(150, 3, 6, 51);
+        let a = LinfNnIndex::build(&dataset, 2);
+        let b = LinfNnIndex::build_linear(&dataset, 2);
+        let mut rng = StdRng::seed_from_u64(52);
+        for _ in 0..15 {
+            let q = Point::new3(
+                rng.gen_range(-60.0..60.0),
+                rng.gen_range(-60.0..60.0),
+                rng.gen_range(-60.0..60.0),
+            );
+            let t = rng.gen_range(1..5);
+            let w1 = rng.gen_range(0..6);
+            let w2 = (w1 + 1 + rng.gen_range(0..5)) % 6;
+            assert_eq!(a.query(&q, t, &[w1, w2]), b.query(&q, t, &[w1, w2]));
+        }
+    }
+
+    #[test]
+    fn matches_bruteforce_3d() {
+        let dataset = random_dataset(200, 3, 6, 11);
+        let index = LinfNnIndex::build(&dataset, 2);
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..25 {
+            let q = Point::new3(
+                rng.gen_range(-60.0..60.0),
+                rng.gen_range(-60.0..60.0),
+                rng.gen_range(-60.0..60.0),
+            );
+            let t = rng.gen_range(1..6);
+            let w1 = rng.gen_range(0..6);
+            let w2 = (w1 + 1 + rng.gen_range(0..5)) % 6;
+            assert_eq!(
+                index.query(&q, t, &[w1, w2]),
+                brute(&dataset, &q, t, &[w1, w2])
+            );
+        }
+    }
+
+    #[test]
+    fn t_exceeding_matches_returns_all() {
+        let dataset = Dataset::from_parts(vec![
+            (Point::new2(0.0, 0.0), vec![0, 1]),
+            (Point::new2(1.0, 0.0), vec![0, 1]),
+            (Point::new2(5.0, 0.0), vec![0]),
+        ]);
+        let index = LinfNnIndex::build(&dataset, 2);
+        let got = index.query(&Point::new2(0.0, 0.0), 10, &[0, 1]);
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn t_zero_is_empty() {
+        let dataset = random_dataset(50, 2, 4, 21);
+        let index = LinfNnIndex::build(&dataset, 2);
+        assert!(index.query(&Point::new2(0.0, 0.0), 0, &[0, 1]).is_empty());
+    }
+
+    #[test]
+    fn exact_tie_distances() {
+        // Two objects at identical distance; (dist, id) order breaks it.
+        let dataset = Dataset::from_parts(vec![
+            (Point::new2(2.0, 0.0), vec![0, 1]),
+            (Point::new2(-2.0, 0.0), vec![0, 1]),
+            (Point::new2(0.0, 7.0), vec![0, 1]),
+        ]);
+        let index = LinfNnIndex::build(&dataset, 2);
+        assert_eq!(index.query(&Point::new2(0.0, 0.0), 1, &[0, 1]), vec![0]);
+        assert_eq!(index.query(&Point::new2(0.0, 0.0), 2, &[0, 1]), vec![0, 1]);
+    }
+
+    #[test]
+    fn candidate_rank_selection_is_exact() {
+        let dataset = random_dataset(60, 2, 4, 31);
+        let index = LinfNnIndex::build(&dataset, 2);
+        let q = Point::new2(3.25, -7.5);
+        // All candidate radii, brute force.
+        let mut cands: Vec<f64> = Vec::new();
+        for d in 0..2 {
+            for p in dataset.points() {
+                cands.push((q.get(d) - p.get(d)).abs());
+            }
+        }
+        cands.sort_by(f64::total_cmp);
+        for rank in [0, 1, 17, 59, cands.len() - 1] {
+            assert_eq!(
+                index.candidate_by_rank(&q, rank).to_bits(),
+                cands[rank].to_bits(),
+                "rank {rank}"
+            );
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Orthogonal range reporting with keywords (ORP-KW; Theorems 1–2).
+//!
+//! Given a `d`-rectangle `q` and keywords `w₁, …, w_k`, report
+//! `q ∩ D(w₁, …, w_k)`. For `d ≤ 2` the index is the kd-tree
+//! transformation of §3 built in *rank space* (Step 4), achieving
+//! `O(N)` space and `O(N^{1−1/k}(1 + OUT^{1/k}))` query time
+//! (Theorem 1). For `d ≥ 3` it is the dimension-reduction tree of §4,
+//! with an `O(log log N)` space blow-up per extra dimension
+//! (Theorem 2).
+
+use skq_geom::{RankSpace, Rect};
+use skq_invidx::Keyword;
+
+use crate::dataset::Dataset;
+use crate::dimred::DimRedTree;
+use crate::framework::{FrameworkConfig, KdPartitioner, TransformedIndex};
+use crate::stats::QueryStats;
+
+enum Inner {
+    /// Theorem 1: kd-tree framework over rank-space coordinates.
+    Kd {
+        rank: RankSpace,
+        tree: TransformedIndex<KdPartitioner>,
+    },
+    /// Theorem 2: dimension-reduction tree.
+    DimRed(Box<DimRedTree>),
+}
+
+/// The ORP-KW index.
+pub struct OrpKwIndex {
+    inner: Inner,
+    dim: usize,
+    k: usize,
+}
+
+impl OrpKwIndex {
+    /// Builds the index for exactly-`k`-keyword queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or the dataset is empty.
+    pub fn build(dataset: &Dataset, k: usize) -> Self {
+        let dim = dataset.dim();
+        let inner = if dim <= 2 {
+            let rank = RankSpace::build(dataset.points());
+            let rank_points = (0..dataset.len()).map(|i| rank.point(i)).collect();
+            let weights = (0..dataset.len()).map(|i| dataset.weight(i)).collect();
+            let partitioner = KdPartitioner::new(rank_points, weights);
+            let tree = TransformedIndex::build(
+                partitioner,
+                dataset.docs().to_vec(),
+                k,
+                FrameworkConfig::default(),
+            );
+            Inner::Kd { rank, tree }
+        } else {
+            Inner::DimRed(Box::new(DimRedTree::build(dataset, k)))
+        };
+        Self { inner, dim, k }
+    }
+
+    /// The number of query keywords the index was built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Reports all objects in `q` whose documents contain all
+    /// `keywords` (exactly `k` distinct keywords).
+    pub fn query(&self, q: &Rect, keywords: &[Keyword]) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut stats = QueryStats::new();
+        self.query_limited(q, keywords, usize::MAX, &mut out, &mut stats);
+        out
+    }
+
+    /// Like [`query`](Self::query) but also returns execution
+    /// statistics.
+    pub fn query_with_stats(&self, q: &Rect, keywords: &[Keyword]) -> (Vec<u32>, QueryStats) {
+        let mut out = Vec::new();
+        let mut stats = QueryStats::new();
+        self.query_limited(q, keywords, usize::MAX, &mut out, &mut stats);
+        (out, stats)
+    }
+
+    /// Reports at most `limit` results (used by the threshold queries of
+    /// Corollary 4: a query that is cut short certifies
+    /// `|q ∩ D(w₁…w_k)| ≥ limit` within the `O(N^{1−1/k}·limit^{1/k})`
+    /// budget).
+    pub fn query_limited(
+        &self,
+        q: &Rect,
+        keywords: &[Keyword],
+        limit: usize,
+        out: &mut Vec<u32>,
+        stats: &mut QueryStats,
+    ) {
+        assert_eq!(q.dim(), self.dim, "query dimension mismatch");
+        match &self.inner {
+            Inner::Kd { rank, tree } => {
+                let Some(rq) = rank.rect(q) else {
+                    return; // query interval hits no data coordinate
+                };
+                tree.query(
+                    keywords,
+                    &|cell| rq.classify(cell),
+                    &|o| rq.contains(&rank.point(o as usize)),
+                    limit,
+                    out,
+                    stats,
+                );
+            }
+            Inner::DimRed(tree) => tree.query(q, keywords, limit, out, stats),
+        }
+    }
+
+    /// Whether at least `t` objects match (`O(N^{1−1/k} · t^{1/k})` by
+    /// early termination — see the proof of Corollary 4).
+    pub fn count_at_least(&self, q: &Rect, keywords: &[Keyword], t: usize) -> bool {
+        if t == 0 {
+            return true;
+        }
+        let mut out = Vec::new();
+        let mut stats = QueryStats::new();
+        self.query_limited(q, keywords, t, &mut out, &mut stats);
+        out.len() >= t
+    }
+
+    /// Index space in 64-bit words.
+    pub fn space_words(&self) -> usize {
+        match &self.inner {
+            Inner::Kd { rank, tree } => {
+                // Rank arrays: d sorted columns of (coord, id).
+                let rank_words = rank.len() * rank.dim() * 2;
+                rank_words + tree.space_words(2 * self.dim + 1)
+            }
+            Inner::DimRed(tree) => tree.space_words(),
+        }
+    }
+
+    /// Structural invariants (delegates to the framework; trivially Ok
+    /// for the dimension-reduction tree, whose invariants are asserted
+    /// by its own tests).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        match &self.inner {
+            Inner::Kd { tree, .. } => tree.check_invariants(),
+            Inner::DimRed(_) => Ok(()),
+        }
+    }
+}
+
+/// Exposes framework diagnostics for the harness (kd case only).
+impl OrpKwIndex {
+    /// `(level, weight, pivots, large)` summaries of the kd framework
+    /// nodes, or `None` for the dimension-reduction variant.
+    pub fn kd_node_summaries(&self) -> Option<Vec<(u32, u64, usize, usize)>> {
+        match &self.inner {
+            Inner::Kd { tree, .. } => Some(tree.node_summaries().collect()),
+            Inner::DimRed(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use skq_geom::Point;
+
+    fn random_dataset(n: usize, dim: usize, vocab: u32, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::from_parts(
+            (0..n)
+                .map(|_| {
+                    let coords: Vec<f64> = (0..dim).map(|_| rng.gen_range(0..30) as f64).collect();
+                    let len = rng.gen_range(1..6);
+                    let doc: Vec<Keyword> = (0..len).map(|_| rng.gen_range(0..vocab)).collect();
+                    (Point::new(&coords), doc)
+                })
+                .collect(),
+        )
+    }
+
+    fn brute(dataset: &Dataset, q: &Rect, kws: &[Keyword]) -> Vec<u32> {
+        (0..dataset.len() as u32)
+            .filter(|&i| {
+                dataset.doc(i as usize).contains_all(kws) && q.contains(dataset.point(i as usize))
+            })
+            .collect()
+    }
+
+    fn random_rect(rng: &mut StdRng, dim: usize) -> Rect {
+        let mut lo = Vec::new();
+        let mut hi = Vec::new();
+        for _ in 0..dim {
+            let a = rng.gen_range(-2..32) as f64;
+            let b = rng.gen_range(-2..32) as f64;
+            lo.push(a.min(b));
+            hi.push(a.max(b));
+        }
+        Rect::new(&lo, &hi)
+    }
+
+    #[test]
+    fn matches_bruteforce_2d_k2() {
+        let dataset = random_dataset(400, 2, 12, 11);
+        let index = OrpKwIndex::build(&dataset, 2);
+        index.check_invariants().unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..100 {
+            let q = random_rect(&mut rng, 2);
+            let w1 = rng.gen_range(0..12);
+            let w2 = (w1 + 1 + rng.gen_range(0..11)) % 12;
+            let mut got = index.query(&q, &[w1, w2]);
+            got.sort_unstable();
+            assert_eq!(
+                got,
+                brute(&dataset, &q, &[w1, w2]),
+                "q={q:?} kws=[{w1},{w2}]"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_bruteforce_1d_k3() {
+        let dataset = random_dataset(300, 1, 8, 21);
+        let index = OrpKwIndex::build(&dataset, 3);
+        index.check_invariants().unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..100 {
+            let q = random_rect(&mut rng, 1);
+            let mut ws = vec![0u32; 0];
+            while ws.len() < 3 {
+                let w = rng.gen_range(0..8);
+                if !ws.contains(&w) {
+                    ws.push(w);
+                }
+            }
+            let mut got = index.query(&q, &ws);
+            got.sort_unstable();
+            assert_eq!(got, brute(&dataset, &q, &ws));
+        }
+    }
+
+    #[test]
+    fn matches_bruteforce_3d_dimred() {
+        let dataset = random_dataset(350, 3, 10, 31);
+        let index = OrpKwIndex::build(&dataset, 2);
+        let mut rng = StdRng::seed_from_u64(32);
+        for _ in 0..60 {
+            let q = random_rect(&mut rng, 3);
+            let w1 = rng.gen_range(0..10);
+            let w2 = (w1 + 1 + rng.gen_range(0..9)) % 10;
+            let mut got = index.query(&q, &[w1, w2]);
+            got.sort_unstable();
+            assert_eq!(got, brute(&dataset, &q, &[w1, w2]));
+        }
+    }
+
+    #[test]
+    fn matches_bruteforce_4d_dimred() {
+        let dataset = random_dataset(200, 4, 8, 41);
+        let index = OrpKwIndex::build(&dataset, 2);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..40 {
+            let q = random_rect(&mut rng, 4);
+            let w1 = rng.gen_range(0..8);
+            let w2 = (w1 + 1 + rng.gen_range(0..7)) % 8;
+            let mut got = index.query(&q, &[w1, w2]);
+            got.sort_unstable();
+            assert_eq!(got, brute(&dataset, &q, &[w1, w2]));
+        }
+    }
+
+    #[test]
+    fn full_space_query_equals_pure_keyword_search() {
+        let dataset = random_dataset(250, 2, 6, 51);
+        let index = OrpKwIndex::build(&dataset, 2);
+        let q = Rect::full(2);
+        let mut got = index.query(&q, &[1, 4]);
+        got.sort_unstable();
+        assert_eq!(got, brute(&dataset, &q, &[1, 4]));
+    }
+
+    #[test]
+    fn limited_query_stops_early() {
+        let dataset = random_dataset(500, 2, 4, 61);
+        let index = OrpKwIndex::build(&dataset, 2);
+        let q = Rect::full(2);
+        let full = brute(&dataset, &q, &[0, 1]);
+        assert!(full.len() > 5, "need enough matches for the test");
+        let mut out = Vec::new();
+        let mut stats = QueryStats::new();
+        index.query_limited(&q, &[0, 1], 3, &mut out, &mut stats);
+        assert_eq!(out.len(), 3);
+        assert!(index.count_at_least(&q, &[0, 1], full.len()));
+        assert!(!index.count_at_least(&q, &[0, 1], full.len() + 1));
+    }
+
+    #[test]
+    fn unknown_keyword_yields_empty() {
+        let dataset = random_dataset(100, 2, 5, 71);
+        let index = OrpKwIndex::build(&dataset, 2);
+        assert!(index.query(&Rect::full(2), &[0, 999]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct keywords")]
+    fn duplicate_keywords_rejected() {
+        let dataset = random_dataset(50, 2, 5, 81);
+        let index = OrpKwIndex::build(&dataset, 2);
+        let _ = index.query(&Rect::full(2), &[3, 3]);
+    }
+
+    #[test]
+    fn space_is_linear_ish() {
+        let dataset = random_dataset(2000, 2, 40, 91);
+        let index = OrpKwIndex::build(&dataset, 2);
+        let words = index.space_words();
+        let n = dataset.input_size();
+        assert!(
+            words < 60 * n,
+            "space {words} words for N = {n} exceeds the linear-space budget"
+        );
+    }
+}

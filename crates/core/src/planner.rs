@@ -1,0 +1,284 @@
+//! A cost-based query planner over the three execution strategies.
+//!
+//! The paper's introduction frames the problem as a choice between two
+//! naive plans; its contribution adds a third. A production system
+//! holds all three and picks per query — the index's advantage is
+//! largest when both naive candidate sets are big and the output is
+//! small, while a *rare* keyword makes the inverted index unbeatable
+//! and a *tiny* rectangle makes the geometric index unbeatable.
+//! [`PlannedOrpKw`] implements that choice with simple, cheaply
+//! computable cost estimates:
+//!
+//! * **keywords-only**: the shortest postings list length (the
+//!   galloping intersection is seeded from it);
+//! * **structured-only**: estimated geometric selectivity × `|D|`,
+//!   from a fixed-size uniform sample of the points;
+//! * **framework index**: `N^{1−1/k} · (1 + ÔUT^{1/k})`, with `ÔUT`
+//!   estimated as selectivity × (an independence-assumption estimate of
+//!   the keyword-intersection size).
+//!
+//! The estimates are deliberately coarse — the point is to avoid the
+//! catastrophic plan, not to find the perfect one — and every plan
+//! returns identical results, so planning is purely a performance
+//! decision.
+
+use skq_geom::Rect;
+use skq_invidx::{InvertedIndex, Keyword};
+
+use crate::dataset::Dataset;
+use crate::naive::{KeywordsFirst, StructuredFirst};
+use crate::orp::OrpKwIndex;
+
+/// Which plan the planner chose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Plan {
+    /// Intersect postings lists, filter geometrically.
+    KeywordsOnly,
+    /// Geometric index, filter by keywords.
+    StructuredOnly,
+    /// The paper's transformed index.
+    Framework,
+}
+
+/// Per-strategy cost estimates (in "objects touched" units).
+#[derive(Clone, Copy, Debug)]
+pub struct CostEstimate {
+    /// Estimated cost of the keywords-only plan.
+    pub keywords_only: f64,
+    /// Estimated cost of the structured-only plan.
+    pub structured_only: f64,
+    /// Estimated cost of the framework index.
+    pub framework: f64,
+    /// Estimated output size used for the framework estimate.
+    pub out_estimate: f64,
+}
+
+impl CostEstimate {
+    /// The plan with the smallest estimate.
+    pub fn best(&self) -> Plan {
+        if self.keywords_only <= self.structured_only && self.keywords_only <= self.framework {
+            Plan::KeywordsOnly
+        } else if self.structured_only <= self.framework {
+            Plan::StructuredOnly
+        } else {
+            Plan::Framework
+        }
+    }
+}
+
+/// Number of sampled points used for selectivity estimation.
+const SAMPLE_SIZE: usize = 512;
+
+/// An ORP-KW executor that owns all three strategies and routes each
+/// query to the estimated-cheapest one.
+pub struct PlannedOrpKw {
+    index: OrpKwIndex,
+    keywords_first: KeywordsFirst,
+    structured_first: StructuredFirst,
+    inv: InvertedIndex,
+    /// Uniform point sample (indices) for selectivity estimation.
+    sample: Vec<u32>,
+    dataset: Dataset,
+    k: usize,
+}
+
+impl PlannedOrpKw {
+    /// Builds all three engines plus the estimation sample.
+    pub fn build(dataset: &Dataset, k: usize) -> Self {
+        // Deterministic xorshift sampler (the crate has no runtime RNG
+        // dependency; estimation only needs an unbiased-ish spread).
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let sample: Vec<u32> = (0..SAMPLE_SIZE)
+            .map(|_| (next() % dataset.len() as u64) as u32)
+            .collect();
+        Self {
+            index: OrpKwIndex::build(dataset, k),
+            keywords_first: KeywordsFirst::build(dataset),
+            structured_first: StructuredFirst::build(dataset),
+            inv: InvertedIndex::build(dataset.docs()),
+            sample,
+            dataset: dataset.clone(),
+            k,
+        }
+    }
+
+    /// Cost estimates for a query (no execution).
+    pub fn estimate(&self, q: &Rect, keywords: &[Keyword]) -> CostEstimate {
+        let n_obj = self.dataset.len() as f64;
+        let big_n = self.dataset.input_size() as f64;
+
+        // Keywords-only: seeded from the shortest list.
+        let min_list = keywords
+            .iter()
+            .map(|&w| self.inv.len_of(w))
+            .min()
+            .unwrap_or(0) as f64;
+
+        // Geometric selectivity from the sample.
+        let inside = self
+            .sample
+            .iter()
+            .filter(|&&i| q.contains(self.dataset.point(i as usize)))
+            .count() as f64;
+        let selectivity = (inside + 1.0) / (self.sample.len() as f64 + 1.0);
+        let structured = selectivity * n_obj;
+
+        // Output estimate: sample the shortest postings list and count
+        // how many sampled objects carry all the other keywords. The
+        // naive independence estimate n·Π(len/n) is catastrophically
+        // wrong exactly where the framework shines (frequent keywords
+        // that never co-occur), so a 64-probe sample is worth its cost.
+        let min_w = keywords.iter().copied().min_by_key(|&w| self.inv.len_of(w));
+        let inter = match min_w {
+            None => n_obj,
+            Some(w) => {
+                let list = self.inv.postings(w);
+                if list.is_empty() {
+                    0.0
+                } else {
+                    let step = (list.len() / 64).max(1);
+                    let mut probed = 0usize;
+                    let mut hit = 0usize;
+                    for &i in list.iter().step_by(step) {
+                        probed += 1;
+                        if self.dataset.doc(i as usize).contains_all(keywords) {
+                            hit += 1;
+                        }
+                    }
+                    list.len() as f64 * (hit as f64 + 0.5) / (probed as f64 + 1.0)
+                }
+            }
+        };
+        let out_estimate = (inter * selectivity).max(0.0);
+        let framework =
+            big_n.powf(1.0 - 1.0 / self.k as f64) * (1.0 + out_estimate.powf(1.0 / self.k as f64));
+
+        CostEstimate {
+            keywords_only: min_list,
+            structured_only: structured,
+            framework,
+            out_estimate,
+        }
+    }
+
+    /// Executes the query with the estimated-cheapest plan; returns the
+    /// matches (sorted) and the plan used.
+    pub fn query(&self, q: &Rect, keywords: &[Keyword]) -> (Vec<u32>, Plan) {
+        let plan = self.estimate(q, keywords).best();
+        let mut out = match plan {
+            Plan::KeywordsOnly => self.keywords_first.query_rect(q, keywords),
+            Plan::StructuredOnly => self.structured_first.query_rect(q, keywords),
+            Plan::Framework => self.index.query(q, keywords),
+        };
+        out.sort_unstable();
+        (out, plan)
+    }
+
+    /// Executes with an explicit plan (for testing/measurement).
+    pub fn query_with_plan(&self, q: &Rect, keywords: &[Keyword], plan: Plan) -> Vec<u32> {
+        let mut out = match plan {
+            Plan::KeywordsOnly => self.keywords_first.query_rect(q, keywords),
+            Plan::StructuredOnly => self.structured_first.query_rect(q, keywords),
+            Plan::Framework => self.index.query(q, keywords),
+        };
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use skq_geom::Point;
+
+    /// A dataset engineered so each plan wins somewhere:
+    /// * keyword 0 and 1: very frequent (framework territory);
+    /// * keyword 2: appears once (keywords-only territory);
+    /// * tiny rectangles: structured-only territory.
+    fn dataset() -> Dataset {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut parts: Vec<(Point, Vec<Keyword>)> = (0..4000)
+            .map(|i| {
+                let p = Point::new2(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0));
+                let mut doc = vec![0u32];
+                if i % 2 == 0 {
+                    doc.push(1);
+                }
+                doc.push(3 + rng.gen_range(0..50));
+                (p, doc)
+            })
+            .collect();
+        parts[777].1.push(2); // the needle keyword
+        Dataset::from_parts(parts)
+    }
+
+    #[test]
+    fn all_plans_agree() {
+        let d = dataset();
+        let planner = PlannedOrpKw::build(&d, 2);
+        let queries = [
+            (Rect::full(2), vec![0u32, 1u32]),
+            (Rect::new(&[100.0, 100.0], &[300.0, 300.0]), vec![0, 1]),
+            (Rect::full(2), vec![0, 2]),
+            (Rect::new(&[499.0, 499.0], &[501.0, 501.0]), vec![0, 1]),
+        ];
+        for (q, kws) in &queries {
+            let a = planner.query_with_plan(q, kws, Plan::KeywordsOnly);
+            let b = planner.query_with_plan(q, kws, Plan::StructuredOnly);
+            let c = planner.query_with_plan(q, kws, Plan::Framework);
+            assert_eq!(a, b);
+            assert_eq!(b, c);
+            let (d2, _) = planner.query(q, kws);
+            assert_eq!(d2, c);
+        }
+    }
+
+    #[test]
+    fn rare_keyword_prefers_keywords_only() {
+        let d = dataset();
+        let planner = PlannedOrpKw::build(&d, 2);
+        let est = planner.estimate(&Rect::full(2), &[0, 2]);
+        assert_eq!(est.best(), Plan::KeywordsOnly, "{est:?}");
+    }
+
+    #[test]
+    fn tiny_rectangle_prefers_structured_only() {
+        let d = dataset();
+        let planner = PlannedOrpKw::build(&d, 2);
+        let q = Rect::new(&[500.0, 500.0], &[500.5, 500.5]);
+        let est = planner.estimate(&q, &[0, 1]);
+        assert_eq!(est.best(), Plan::StructuredOnly, "{est:?}");
+    }
+
+    #[test]
+    fn frequent_keywords_big_window_prefers_framework() {
+        let d = dataset();
+        let planner = PlannedOrpKw::build(&d, 2);
+        // Both keywords huge, window big: naive plans pay thousands,
+        // framework pays ~√N·(1 + OUT^(1/2)).
+        let q = Rect::new(&[0.0, 0.0], &[400.0, 400.0]);
+        let est = planner.estimate(&q, &[0, 1]);
+        // The framework estimate must at least beat the keywords-only
+        // estimate (2000-long list); depending on OUT it may also beat
+        // structured-only.
+        assert!(est.framework < est.keywords_only, "{est:?}");
+    }
+
+    #[test]
+    fn estimates_are_sane() {
+        let d = dataset();
+        let planner = PlannedOrpKw::build(&d, 2);
+        let est = planner.estimate(&Rect::full(2), &[0, 1]);
+        // Keyword 0 is in all 4000 docs, keyword 1 in 2000.
+        assert_eq!(est.keywords_only, 2000.0);
+        assert!(est.structured_only > 3000.0); // full-space selectivity ≈ 1
+        assert!(est.out_estimate > 500.0);
+    }
+}

@@ -1,0 +1,396 @@
+//! Simplex reporting with keywords (SP-KW; Theorem 12, Appendix D).
+//!
+//! Given a `d`-simplex (or, more generally, any conjunction of `O(1)`
+//! halfspaces — LC-KW queries arrive that way and a simplex is exactly
+//! `d + 1` of them) and keywords `w₁, …, w_k`, report the matching
+//! objects inside the region. The index is the transformation framework
+//! applied to a partition tree: in 2D, the Willard ham-sandwich tree
+//! (see DESIGN.md §4 for the substitution of Chan's optimal partition
+//! tree); in higher dimensions, kd cells (the paper notes in §3.5 that
+//! the kd-tree yields `O(N^{1−1/max(k,d)} + N^{1−1/k}·OUT^{1/k})`
+//! there).
+
+use skq_geom::{ConvexPolytope, Point, Simplex};
+use skq_invidx::Keyword;
+
+use crate::dataset::Dataset;
+use crate::framework::{
+    FrameworkConfig, KdPartitioner, QuadPartitioner, TransformedIndex, WillardPartitioner,
+};
+use crate::stats::QueryStats;
+
+/// Which partitioner backs the index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpStrategy {
+    /// Willard ham-sandwich partition tree (2D only): crossing number
+    /// `O(N^{log₄3})`.
+    Willard,
+    /// kd-tree cells (any dimension): crossing number
+    /// `O(N^{1−1/max(k,d)})` for simplex queries.
+    Kd,
+    /// Midpoint quadtree (2D only): the spatial-keyword systems
+    /// literature's favorite; no weight-balance (and hence no depth)
+    /// guarantee on skewed data, but cheap construction.
+    Quad,
+}
+
+enum Inner {
+    Willard(TransformedIndex<WillardPartitioner>),
+    Kd(TransformedIndex<KdPartitioner>),
+    Quad(TransformedIndex<QuadPartitioner>),
+}
+
+/// The SP-KW index.
+///
+/// # Example
+///
+/// ```
+/// use skq_core::dataset::Dataset;
+/// use skq_core::sp::SpKwIndex;
+/// use skq_geom::{Point, Simplex};
+///
+/// let data = Dataset::from_parts(vec![
+///     (Point::new2(1.0, 1.0), vec![0, 1]),
+///     (Point::new2(9.0, 9.0), vec![0, 1]),
+///     (Point::new2(2.0, 1.0), vec![0]),
+/// ]);
+/// let index = SpKwIndex::build(&data, 2);
+/// let triangle = Simplex::new(vec![
+///     Point::new2(0.0, 0.0),
+///     Point::new2(5.0, 0.0),
+///     Point::new2(0.0, 5.0),
+/// ]).unwrap();
+/// assert_eq!(index.query_simplex(&triangle, &[0, 1]), vec![0]);
+/// ```
+pub struct SpKwIndex {
+    inner: Inner,
+    points: Vec<Point>,
+    dim: usize,
+    k: usize,
+}
+
+impl SpKwIndex {
+    /// Builds with the default strategy (Willard in 2D, kd otherwise).
+    pub fn build(dataset: &Dataset, k: usize) -> Self {
+        let strategy = if dataset.dim() == 2 {
+            SpStrategy::Willard
+        } else {
+            SpStrategy::Kd
+        };
+        Self::build_with_strategy(dataset, k, strategy)
+    }
+
+    /// Builds with an explicit strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strategy` is `Willard` and the data is not 2D, or
+    /// `k < 2`.
+    pub fn build_with_strategy(dataset: &Dataset, k: usize, strategy: SpStrategy) -> Self {
+        let points = dataset.points().to_vec();
+        let weights: Vec<u64> = (0..dataset.len()).map(|i| dataset.weight(i)).collect();
+        let docs = dataset.docs().to_vec();
+        let inner = match strategy {
+            SpStrategy::Willard => {
+                assert_eq!(dataset.dim(), 2, "the Willard partition tree is 2D");
+                let p = WillardPartitioner::new(points.clone(), weights);
+                Inner::Willard(TransformedIndex::build(
+                    p,
+                    docs,
+                    k,
+                    FrameworkConfig::default(),
+                ))
+            }
+            SpStrategy::Kd => {
+                let p = KdPartitioner::new(points.clone(), weights);
+                Inner::Kd(TransformedIndex::build(
+                    p,
+                    docs,
+                    k,
+                    FrameworkConfig::default(),
+                ))
+            }
+            SpStrategy::Quad => {
+                assert_eq!(dataset.dim(), 2, "the quadtree partitioner is 2D");
+                let p = QuadPartitioner::new(points.clone(), weights);
+                Inner::Quad(TransformedIndex::build(
+                    p,
+                    docs,
+                    k,
+                    FrameworkConfig::default(),
+                ))
+            }
+        };
+        Self {
+            inner,
+            points,
+            dim: dataset.dim(),
+            k,
+        }
+    }
+
+    /// The number of query keywords the index was built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The strategy in use.
+    pub fn strategy(&self) -> SpStrategy {
+        match self.inner {
+            Inner::Willard(_) => SpStrategy::Willard,
+            Inner::Kd(_) => SpStrategy::Kd,
+            Inner::Quad(_) => SpStrategy::Quad,
+        }
+    }
+
+    /// Reports all objects inside the convex region `q` (a conjunction
+    /// of halfspaces) whose documents contain all `keywords`.
+    pub fn query_polytope(&self, q: &ConvexPolytope, keywords: &[Keyword]) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut stats = QueryStats::new();
+        self.query_limited(q, keywords, usize::MAX, &mut out, &mut stats);
+        out
+    }
+
+    /// Like [`query_polytope`](Self::query_polytope) with statistics.
+    pub fn query_with_stats(
+        &self,
+        q: &ConvexPolytope,
+        keywords: &[Keyword],
+    ) -> (Vec<u32>, QueryStats) {
+        let mut out = Vec::new();
+        let mut stats = QueryStats::new();
+        self.query_limited(q, keywords, usize::MAX, &mut out, &mut stats);
+        (out, stats)
+    }
+
+    /// Reports all matching objects inside a `d`-simplex.
+    pub fn query_simplex(&self, q: &Simplex, keywords: &[Keyword]) -> Vec<u32> {
+        assert_eq!(q.dim(), self.dim);
+        self.query_polytope(&q.to_polytope(), keywords)
+    }
+
+    /// Limited-output variant (threshold queries).
+    pub fn query_limited(
+        &self,
+        q: &ConvexPolytope,
+        keywords: &[Keyword],
+        limit: usize,
+        out: &mut Vec<u32>,
+        stats: &mut QueryStats,
+    ) {
+        if let Some(d) = q.dim() {
+            assert_eq!(d, self.dim, "query dimension mismatch");
+        }
+        let accept = |o: u32| q.contains(&self.points[o as usize]);
+        match &self.inner {
+            Inner::Willard(tree) => tree.query(
+                keywords,
+                &|cell| cell.classify(q.halfspaces()),
+                &accept,
+                limit,
+                out,
+                stats,
+            ),
+            Inner::Kd(tree) => tree.query(
+                keywords,
+                &|cell| q.classify_rect(cell),
+                &accept,
+                limit,
+                out,
+                stats,
+            ),
+            Inner::Quad(tree) => tree.query(
+                keywords,
+                &|cell| q.classify_rect(cell),
+                &accept,
+                limit,
+                out,
+                stats,
+            ),
+        }
+    }
+
+    /// Whether at least `t` objects match, by early termination.
+    pub fn count_at_least(&self, q: &ConvexPolytope, keywords: &[Keyword], t: usize) -> bool {
+        if t == 0 {
+            return true;
+        }
+        let mut out = Vec::new();
+        let mut stats = QueryStats::new();
+        self.query_limited(q, keywords, t, &mut out, &mut stats);
+        out.len() >= t
+    }
+
+    /// Index space in 64-bit words (cells charged as a constant; the
+    /// Willard polygons average `O(1)` vertices because each level adds
+    /// at most two clips).
+    pub fn space_words(&self) -> usize {
+        let point_words = self.points.len() * self.dim;
+        point_words
+            + match &self.inner {
+                Inner::Willard(t) => t.space_words(12),
+                Inner::Kd(t) => t.space_words(2 * self.dim + 1),
+                Inner::Quad(t) => t.space_words(2 * self.dim + 1),
+            }
+    }
+
+    /// `(level, weight, pivots, large)` per framework node — tree-shape
+    /// diagnostics for the harness.
+    pub fn node_summaries(&self) -> Vec<(u32, u64, usize, usize)> {
+        match &self.inner {
+            Inner::Willard(t) => t.node_summaries().collect(),
+            Inner::Kd(t) => t.node_summaries().collect(),
+            Inner::Quad(t) => t.node_summaries().collect(),
+        }
+    }
+
+    /// Structural invariants of the underlying framework.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        match &self.inner {
+            Inner::Willard(t) => t.check_invariants(),
+            Inner::Kd(t) => t.check_invariants(),
+            // Midpoint splits carry no weight-halving guarantee.
+            Inner::Quad(t) => t.check_invariants_with(false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use skq_geom::Halfspace;
+
+    fn random_dataset(n: usize, dim: usize, vocab: u32, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::from_parts(
+            (0..n)
+                .map(|_| {
+                    let coords: Vec<f64> = (0..dim).map(|_| rng.gen_range(-20.0..20.0)).collect();
+                    let len = rng.gen_range(1..5);
+                    let doc: Vec<Keyword> = (0..len).map(|_| rng.gen_range(0..vocab)).collect();
+                    (Point::new(&coords), doc)
+                })
+                .collect(),
+        )
+    }
+
+    fn brute(dataset: &Dataset, q: &ConvexPolytope, kws: &[Keyword]) -> Vec<u32> {
+        (0..dataset.len() as u32)
+            .filter(|&i| {
+                dataset.doc(i as usize).contains_all(kws) && q.contains(dataset.point(i as usize))
+            })
+            .collect()
+    }
+
+    fn random_halfspaces(rng: &mut StdRng, dim: usize, s: usize) -> ConvexPolytope {
+        let hs: Vec<Halfspace> = (0..s)
+            .map(|_| {
+                let coeffs: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                Halfspace::new(&coeffs, rng.gen_range(-10.0..20.0))
+            })
+            .collect();
+        ConvexPolytope::new(hs)
+    }
+
+    #[test]
+    fn willard_matches_bruteforce() {
+        let dataset = random_dataset(400, 2, 10, 1);
+        let index = SpKwIndex::build(&dataset, 2);
+        assert_eq!(index.strategy(), SpStrategy::Willard);
+        index.check_invariants().unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..60 {
+            let s = rng.gen_range(1..4);
+            let q = random_halfspaces(&mut rng, 2, s);
+            let w1 = rng.gen_range(0..10);
+            let w2 = (w1 + 1 + rng.gen_range(0..9)) % 10;
+            let mut got = index.query_polytope(&q, &[w1, w2]);
+            got.sort_unstable();
+            assert_eq!(got, brute(&dataset, &q, &[w1, w2]));
+        }
+    }
+
+    #[test]
+    fn kd_strategy_matches_bruteforce_2d() {
+        let dataset = random_dataset(300, 2, 8, 11);
+        let index = SpKwIndex::build_with_strategy(&dataset, 2, SpStrategy::Kd);
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..60 {
+            let q = random_halfspaces(&mut rng, 2, 2);
+            let w1 = rng.gen_range(0..8);
+            let w2 = (w1 + 1 + rng.gen_range(0..7)) % 8;
+            let mut got = index.query_polytope(&q, &[w1, w2]);
+            got.sort_unstable();
+            assert_eq!(got, brute(&dataset, &q, &[w1, w2]));
+        }
+    }
+
+    #[test]
+    fn kd_strategy_3d_simplex() {
+        let dataset = random_dataset(250, 3, 8, 21);
+        let index = SpKwIndex::build(&dataset, 2);
+        assert_eq!(index.strategy(), SpStrategy::Kd);
+        let simplex = Simplex::new(vec![
+            Point::new3(-30.0, -30.0, -30.0),
+            Point::new3(40.0, 0.0, 0.0),
+            Point::new3(0.0, 40.0, 0.0),
+            Point::new3(0.0, 0.0, 40.0),
+        ])
+        .unwrap();
+        let mut got = index.query_simplex(&simplex, &[0, 1]);
+        got.sort_unstable();
+        assert_eq!(got, brute(&dataset, &simplex.to_polytope(), &[0, 1]));
+    }
+
+    #[test]
+    fn triangle_query_2d() {
+        let dataset = random_dataset(300, 2, 6, 31);
+        let index = SpKwIndex::build(&dataset, 2);
+        let tri = Simplex::new(vec![
+            Point::new2(-15.0, -15.0),
+            Point::new2(15.0, -10.0),
+            Point::new2(0.0, 18.0),
+        ])
+        .unwrap();
+        let mut got = index.query_simplex(&tri, &[0, 1]);
+        got.sort_unstable();
+        assert_eq!(got, brute(&dataset, &tri.to_polytope(), &[0, 1]));
+    }
+
+    #[test]
+    fn unconstrained_query_is_pure_keyword_search() {
+        let dataset = random_dataset(200, 2, 5, 41);
+        let index = SpKwIndex::build(&dataset, 2);
+        let q = ConvexPolytope::default();
+        let mut got = index.query_polytope(&q, &[0, 2]);
+        got.sort_unstable();
+        assert_eq!(got, brute(&dataset, &q, &[0, 2]));
+    }
+
+    #[test]
+    fn k3_queries() {
+        let dataset = random_dataset(350, 2, 6, 51);
+        let index = SpKwIndex::build(&dataset, 3);
+        let mut rng = StdRng::seed_from_u64(52);
+        for _ in 0..40 {
+            let q = random_halfspaces(&mut rng, 2, 2);
+            let mut ws: Vec<u32> = Vec::new();
+            while ws.len() < 3 {
+                let w = rng.gen_range(0..6);
+                if !ws.contains(&w) {
+                    ws.push(w);
+                }
+            }
+            let mut got = index.query_polytope(&q, &ws);
+            got.sort_unstable();
+            assert_eq!(got, brute(&dataset, &q, &ws));
+        }
+    }
+}

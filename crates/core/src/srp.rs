@@ -1,0 +1,283 @@
+//! Spherical range reporting with keywords (SRP-KW; Corollary 6).
+//!
+//! Given a Euclidean ball and `k` keywords, report the matching objects
+//! inside the ball ("boolean range query with keywords"). Corollary 6
+//! lifts each point `p ∈ R^d` to `(p, |p|²) ∈ R^{d+1}`, turning the ball
+//! into a single halfspace — a 1-constraint LC-KW query on the lifted
+//! set, answered by the partition-tree index.
+
+use skq_geom::{lift_point, Ball, ConvexPolytope, Halfspace, Point};
+use skq_invidx::Keyword;
+
+use crate::dataset::Dataset;
+use crate::sp::SpKwIndex;
+use crate::stats::QueryStats;
+
+/// The SRP-KW index.
+///
+/// # Example
+///
+/// ```
+/// use skq_core::dataset::Dataset;
+/// use skq_core::srp::SrpKwIndex;
+/// use skq_geom::{Ball, Point};
+///
+/// let data = Dataset::from_parts(vec![
+///     (Point::new2(0.0, 0.0), vec![0, 1]),
+///     (Point::new2(3.0, 4.0), vec![0, 1]), // distance exactly 5
+///     (Point::new2(9.0, 9.0), vec![0, 1]),
+/// ]);
+/// let index = SrpKwIndex::build(&data, 2);
+/// let ball = Ball::new(Point::new2(0.0, 0.0), 5.0);
+/// let mut hits = index.query(&ball, &[0, 1]);
+/// hits.sort_unstable();
+/// assert_eq!(hits, vec![0, 1]);
+/// ```
+pub struct SrpKwIndex {
+    /// SP-KW index over the lifted `(d+1)`-dimensional point set.
+    sp: SpKwIndex,
+    dim: usize,
+}
+
+impl SrpKwIndex {
+    /// Builds the index for exactly-`k`-keyword queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `d + 1` exceeds the supported 8 dimensions.
+    pub fn build(dataset: &Dataset, k: usize) -> Self {
+        let dim = dataset.dim();
+        let lifted = dataset.map_points(|_, p| lift_point(p));
+        Self {
+            sp: SpKwIndex::build(&lifted, k),
+            dim,
+        }
+    }
+
+    /// The point dimensionality `d` (queries are `d`-dimensional balls).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The number of query keywords the index was built for.
+    pub fn k(&self) -> usize {
+        self.sp.k()
+    }
+
+    /// Reports objects inside `ball` whose documents contain all
+    /// `keywords`.
+    pub fn query(&self, ball: &Ball, keywords: &[Keyword]) -> Vec<u32> {
+        self.query_with_stats(ball, keywords).0
+    }
+
+    /// Like [`query`](Self::query) with statistics.
+    pub fn query_with_stats(&self, ball: &Ball, keywords: &[Keyword]) -> (Vec<u32>, QueryStats) {
+        assert_eq!(ball.dim(), self.dim, "query dimension mismatch");
+        self.query_sq_with_stats(ball.center(), ball.radius() * ball.radius(), keywords)
+    }
+
+    /// Queries by *squared* radius — exact for integer coordinates, and
+    /// the primitive the L2-NN binary search (Corollary 7) needs.
+    pub fn query_sq(&self, center: &Point, radius_sq: f64, keywords: &[Keyword]) -> Vec<u32> {
+        self.query_sq_with_stats(center, radius_sq, keywords).0
+    }
+
+    /// [`query_sq`](Self::query_sq) with statistics.
+    pub fn query_sq_with_stats(
+        &self,
+        center: &Point,
+        radius_sq: f64,
+        keywords: &[Keyword],
+    ) -> (Vec<u32>, QueryStats) {
+        let mut out = Vec::new();
+        let mut stats = QueryStats::new();
+        self.query_sq_limited(
+            center,
+            radius_sq,
+            keywords,
+            usize::MAX,
+            &mut out,
+            &mut stats,
+        );
+        (out, stats)
+    }
+
+    /// Limited-output squared-radius query (threshold queries).
+    pub fn query_sq_limited(
+        &self,
+        center: &Point,
+        radius_sq: f64,
+        keywords: &[Keyword],
+        limit: usize,
+        out: &mut Vec<u32>,
+        stats: &mut QueryStats,
+    ) {
+        assert_eq!(center.dim(), self.dim, "query dimension mismatch");
+        assert!(radius_sq >= 0.0);
+        let hs = lifted_halfspace(center, radius_sq);
+        self.sp.query_limited(
+            &ConvexPolytope::from_halfspace(hs),
+            keywords,
+            limit,
+            out,
+            stats,
+        );
+    }
+
+    /// Whether at least `t` objects match, by early termination.
+    pub fn count_at_least(
+        &self,
+        center: &Point,
+        radius_sq: f64,
+        keywords: &[Keyword],
+        t: usize,
+    ) -> bool {
+        if t == 0 {
+            return true;
+        }
+        let mut out = Vec::new();
+        let mut stats = QueryStats::new();
+        self.query_sq_limited(center, radius_sq, keywords, t, &mut out, &mut stats);
+        out.len() >= t
+    }
+
+    /// Index space in 64-bit words.
+    pub fn space_words(&self) -> usize {
+        self.sp.space_words()
+    }
+}
+
+/// The lifted halfspace for squared radius `r²`:
+/// `(−2c, 1) · p' ≤ r² − |c|²`.
+fn lifted_halfspace(center: &Point, radius_sq: f64) -> Halfspace {
+    let d = center.dim();
+    let mut coeffs = Vec::with_capacity(d + 1);
+    for i in 0..d {
+        coeffs.push(-2.0 * center.get(i));
+    }
+    coeffs.push(1.0);
+    Halfspace::new(&coeffs, radius_sq - center.norm_sq())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// Integer coordinates keep the lifted arithmetic exact, matching
+    /// the paper's `N^d` (integer-grid) setting for distance problems.
+    fn integer_dataset(n: usize, dim: usize, vocab: u32, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::from_parts(
+            (0..n)
+                .map(|_| {
+                    let coords: Vec<f64> =
+                        (0..dim).map(|_| rng.gen_range(-40..40) as f64).collect();
+                    let doc: Vec<Keyword> = (0..rng.gen_range(1..5))
+                        .map(|_| rng.gen_range(0..vocab))
+                        .collect();
+                    (Point::new(&coords), doc)
+                })
+                .collect(),
+        )
+    }
+
+    fn brute(dataset: &Dataset, ball: &Ball, kws: &[Keyword]) -> Vec<u32> {
+        (0..dataset.len() as u32)
+            .filter(|&i| {
+                dataset.doc(i as usize).contains_all(kws)
+                    && ball.contains(dataset.point(i as usize))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_bruteforce_1d() {
+        let dataset = integer_dataset(250, 1, 8, 1);
+        let index = SrpKwIndex::build(&dataset, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..60 {
+            let ball = Ball::new(
+                Point::new1(rng.gen_range(-45..45) as f64),
+                rng.gen_range(0..30) as f64,
+            );
+            let w1 = rng.gen_range(0..8);
+            let w2 = (w1 + 1 + rng.gen_range(0..7)) % 8;
+            let mut got = index.query(&ball, &[w1, w2]);
+            got.sort_unstable();
+            assert_eq!(got, brute(&dataset, &ball, &[w1, w2]));
+        }
+    }
+
+    #[test]
+    fn matches_bruteforce_2d() {
+        let dataset = integer_dataset(300, 2, 10, 11);
+        let index = SrpKwIndex::build(&dataset, 2);
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..60 {
+            let ball = Ball::new(
+                Point::new2(rng.gen_range(-45..45) as f64, rng.gen_range(-45..45) as f64),
+                rng.gen_range(0..40) as f64,
+            );
+            let w1 = rng.gen_range(0..10);
+            let w2 = (w1 + 1 + rng.gen_range(0..9)) % 10;
+            let mut got = index.query(&ball, &[w1, w2]);
+            got.sort_unstable();
+            assert_eq!(got, brute(&dataset, &ball, &[w1, w2]));
+        }
+    }
+
+    #[test]
+    fn matches_bruteforce_3d_k3() {
+        let dataset = integer_dataset(250, 3, 6, 21);
+        let index = SrpKwIndex::build(&dataset, 3);
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..40 {
+            let ball = Ball::new(
+                Point::new3(
+                    rng.gen_range(-45..45) as f64,
+                    rng.gen_range(-45..45) as f64,
+                    rng.gen_range(-45..45) as f64,
+                ),
+                rng.gen_range(0..50) as f64,
+            );
+            let mut ws: Vec<u32> = Vec::new();
+            while ws.len() < 3 {
+                let w = rng.gen_range(0..6);
+                if !ws.contains(&w) {
+                    ws.push(w);
+                }
+            }
+            let mut got = index.query(&ball, &ws);
+            got.sort_unstable();
+            assert_eq!(got, brute(&dataset, &ball, &ws));
+        }
+    }
+
+    #[test]
+    fn boundary_points_included() {
+        let dataset = Dataset::from_parts(vec![
+            (Point::new2(3.0, 4.0), vec![0, 1]), // distance exactly 5
+            (Point::new2(3.0, 5.0), vec![0, 1]),
+            (Point::new2(0.0, 0.0), vec![0, 1]),
+        ]);
+        let index = SrpKwIndex::build(&dataset, 2);
+        let ball = Ball::new(Point::new2(0.0, 0.0), 5.0);
+        let mut got = index.query(&ball, &[0, 1]);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 2]);
+    }
+
+    #[test]
+    fn zero_radius_ball() {
+        let dataset = Dataset::from_parts(vec![
+            (Point::new2(1.0, 1.0), vec![0, 1]),
+            (Point::new2(2.0, 2.0), vec![0, 1]),
+        ]);
+        let index = SrpKwIndex::build(&dataset, 2);
+        assert_eq!(
+            index.query(&Ball::new(Point::new2(1.0, 1.0), 0.0), &[0, 1]),
+            vec![0]
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! A multi-`k` index suite.
+//!
+//! Every index in this crate is built for a fixed number of query
+//! keywords `k` — the large/small threshold `N_u^{1−1/k}` bakes `k`
+//! into the structure. Applications rarely know `k` in advance, so
+//! [`OrpKwSuite`] builds one index per `k ∈ 2..=k_max` plus an
+//! inverted-index fallback for single-keyword (or very-many-keyword)
+//! queries, and routes each query to the right member.
+//!
+//! Space grows by the factor `k_max − 1`, which is `O(1)` under the
+//! paper's constant-`k` regime.
+
+use skq_geom::Rect;
+use skq_invidx::{InvertedIndex, Keyword};
+
+use crate::dataset::Dataset;
+use crate::orp::OrpKwIndex;
+
+/// ORP-KW for any number of distinct query keywords in `1..=k_max`
+/// (and graceful degradation beyond).
+///
+/// # Example
+///
+/// ```
+/// use skq_core::dataset::Dataset;
+/// use skq_core::suite::OrpKwSuite;
+/// use skq_geom::{Point, Rect};
+///
+/// let data = Dataset::from_parts(vec![
+///     (Point::new2(1.0, 1.0), vec![0, 1, 2]),
+///     (Point::new2(2.0, 2.0), vec![0, 1]),
+/// ]);
+/// let suite = OrpKwSuite::build(&data, 3);
+/// let q = Rect::full(2);
+/// assert_eq!(suite.query(&q, &[0]).len(), 2);        // k = 1 fallback
+/// assert_eq!(suite.query(&q, &[0, 1]).len(), 2);     // k = 2 index
+/// assert_eq!(suite.query(&q, &[0, 1, 2]), vec![0]);  // k = 3 index
+/// ```
+pub struct OrpKwSuite {
+    /// `indexes[i]` serves `k = i + 2`.
+    indexes: Vec<OrpKwIndex>,
+    inv: InvertedIndex,
+    dataset: Dataset,
+    k_max: usize,
+}
+
+impl OrpKwSuite {
+    /// Builds indexes for every `k ∈ 2..=k_max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k_max < 2`.
+    pub fn build(dataset: &Dataset, k_max: usize) -> Self {
+        assert!(k_max >= 2, "k_max must be at least 2");
+        let indexes = (2..=k_max).map(|k| OrpKwIndex::build(dataset, k)).collect();
+        Self {
+            indexes,
+            inv: InvertedIndex::build(dataset.docs()),
+            dataset: dataset.clone(),
+            k_max,
+        }
+    }
+
+    /// The largest `k` with a dedicated index.
+    pub fn k_max(&self) -> usize {
+        self.k_max
+    }
+
+    /// Reports all objects in `q` containing all of `keywords`
+    /// (any number of them; duplicates ignored):
+    ///
+    /// * `k = 0` — pure range query (inverted fallback over all ids);
+    /// * `k = 1` — postings scan + geometric filter;
+    /// * `2 ≤ k ≤ k_max` — the matching framework index;
+    /// * `k > k_max` — the `k_max` index over the `k_max` *rarest*
+    ///   keywords, then post-filtering by the rest (a safe superset).
+    pub fn query(&self, q: &Rect, keywords: &[Keyword]) -> Vec<u32> {
+        let mut kws = keywords.to_vec();
+        kws.sort_unstable();
+        kws.dedup();
+        match kws.len() {
+            0 => (0..self.dataset.len() as u32)
+                .filter(|&i| q.contains(self.dataset.point(i as usize)))
+                .collect(),
+            1 => self
+                .inv
+                .postings(kws[0])
+                .iter()
+                .copied()
+                .filter(|&i| q.contains(self.dataset.point(i as usize)))
+                .collect(),
+            k if k <= self.k_max => self.indexes[k - 2].query(q, &kws),
+            _ => {
+                // Use the k_max rarest keywords for the index (they
+                // constrain the most), then post-filter the rest.
+                let mut by_freq = kws.clone();
+                by_freq.sort_by_key(|&w| self.inv.len_of(w));
+                let head = &by_freq[..self.k_max];
+                self.indexes[self.k_max - 2]
+                    .query(q, head)
+                    .into_iter()
+                    .filter(|&i| self.dataset.doc(i as usize).contains_all(&kws))
+                    .collect()
+            }
+        }
+    }
+
+    /// Total space across all member indexes, in 64-bit words.
+    pub fn space_words(&self) -> usize {
+        self.indexes
+            .iter()
+            .map(OrpKwIndex::space_words)
+            .sum::<usize>()
+            + self.inv.input_size() * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use skq_geom::Point;
+
+    fn dataset() -> Dataset {
+        let mut rng = StdRng::seed_from_u64(6);
+        Dataset::from_parts(
+            (0..800)
+                .map(|_| {
+                    let p = Point::new2(rng.gen_range(0..60) as f64, rng.gen_range(0..60) as f64);
+                    let doc: Vec<Keyword> = (0..rng.gen_range(2..7))
+                        .map(|_| rng.gen_range(0..9))
+                        .collect();
+                    (p, doc)
+                })
+                .collect(),
+        )
+    }
+
+    fn brute(d: &Dataset, q: &Rect, kws: &[Keyword]) -> Vec<u32> {
+        (0..d.len() as u32)
+            .filter(|&i| d.doc(i as usize).contains_all(kws) && q.contains(d.point(i as usize)))
+            .collect()
+    }
+
+    #[test]
+    fn routes_each_k_correctly() {
+        let d = dataset();
+        let suite = OrpKwSuite::build(&d, 4);
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..80 {
+            let x: f64 = rng.gen_range(0..60) as f64;
+            let y: f64 = rng.gen_range(0..60) as f64;
+            let q = Rect::new(&[x, y], &[x + 25.0, y + 25.0]);
+            let k = rng.gen_range(0..7);
+            let mut kws: Vec<Keyword> = Vec::new();
+            while kws.len() < k {
+                let w = rng.gen_range(0..9);
+                if !kws.contains(&w) {
+                    kws.push(w);
+                }
+            }
+            let mut got = suite.query(&q, &kws);
+            got.sort_unstable();
+            assert_eq!(got, brute(&d, &q, &kws), "trial {trial} k={k}");
+        }
+    }
+
+    #[test]
+    fn duplicates_in_query_are_deduped() {
+        let d = dataset();
+        let suite = OrpKwSuite::build(&d, 3);
+        let q = Rect::full(2);
+        let mut a = suite.query(&q, &[3, 3, 5, 5]);
+        a.sort_unstable();
+        assert_eq!(a, brute(&d, &q, &[3, 5]));
+    }
+
+    #[test]
+    fn beyond_k_max_post_filters() {
+        let d = dataset();
+        let suite = OrpKwSuite::build(&d, 2);
+        let q = Rect::full(2);
+        let kws = [0u32, 1, 2, 3, 4];
+        let mut got = suite.query(&q, &kws);
+        got.sort_unstable();
+        assert_eq!(got, brute(&d, &q, &kws));
+    }
+
+    #[test]
+    fn zero_keywords_is_pure_range() {
+        let d = dataset();
+        let suite = OrpKwSuite::build(&d, 2);
+        let q = Rect::new(&[0.0, 0.0], &[30.0, 30.0]);
+        let mut got = suite.query(&q, &[]);
+        got.sort_unstable();
+        let expected: Vec<u32> = (0..d.len() as u32)
+            .filter(|&i| q.contains(d.point(i as usize)))
+            .collect();
+        assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,291 @@
+//! Linear constraints and their conjunctions.
+//!
+//! A *linear constraint* (paper §1.1, LC-KW) has the form
+//! `Σᵢ cᵢ·x[i] ≤ c_{d+1}`. A query supplies `s = O(1)` such constraints;
+//! their conjunction is a convex polyhedron. [`ConvexPolytope`] represents
+//! that conjunction and provides the (exact-where-needed, conservative
+//! elsewhere) cell-classification predicates the framework requires.
+
+use crate::{Point, Rect, Region, MAX_DIM};
+
+/// A closed halfspace `c · x ≤ b` in `R^d`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Halfspace {
+    coeffs: [f64; MAX_DIM],
+    bound: f64,
+    dim: u8,
+}
+
+impl Halfspace {
+    /// Creates the halfspace `coeffs · x ≤ bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` is empty or longer than [`MAX_DIM`].
+    pub fn new(coeffs: &[f64], bound: f64) -> Self {
+        assert!(
+            !coeffs.is_empty() && coeffs.len() <= MAX_DIM,
+            "halfspace dimension must be in 1..={MAX_DIM}"
+        );
+        let mut c = [0.0; MAX_DIM];
+        c[..coeffs.len()].copy_from_slice(coeffs);
+        Self {
+            coeffs: c,
+            bound,
+            dim: coeffs.len() as u8,
+        }
+    }
+
+    /// The dimensionality `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim as usize
+    }
+
+    /// The coefficient vector `c`.
+    #[inline]
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs[..self.dim()]
+    }
+
+    /// The right-hand side `b`.
+    #[inline]
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
+
+    /// Signed slack `c · p − b` (≤ 0 iff `p` satisfies the constraint).
+    #[inline]
+    pub fn eval(&self, p: &Point) -> f64 {
+        p.dot(self.coeffs()) - self.bound
+    }
+
+    /// Whether `p` satisfies the constraint (boundary inclusive).
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        self.eval(p) <= 0.0
+    }
+
+    /// The extreme (most negative / most positive) values of `c · x − b`
+    /// over an axis-aligned rectangle, computed per-dimension (exact, and
+    /// robust to infinite rectangle endpoints).
+    fn extremes_over(&self, r: &Rect) -> (f64, f64) {
+        assert_eq!(self.dim(), r.dim());
+        let mut min = -self.bound;
+        let mut max = -self.bound;
+        for i in 0..self.dim() {
+            let c = self.coeffs[i];
+            if c == 0.0 {
+                continue;
+            }
+            let (lo, hi) = r.interval(i);
+            let (a, b) = if c > 0.0 {
+                (c * lo, c * hi)
+            } else {
+                (c * hi, c * lo)
+            };
+            min += a;
+            max += b;
+        }
+        (min, max)
+    }
+
+    /// Exact classification of a rectangle cell against this halfspace.
+    pub fn classify_rect(&self, r: &Rect) -> Region {
+        let (min, max) = self.extremes_over(r);
+        if min > 0.0 {
+            Region::Disjoint
+        } else if max <= 0.0 {
+            Region::Covered
+        } else {
+            Region::Crossing
+        }
+    }
+}
+
+/// A conjunction of halfspaces — the query region of LC-KW.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct ConvexPolytope {
+    halfspaces: Vec<Halfspace>,
+}
+
+impl ConvexPolytope {
+    /// Creates a polytope from its defining halfspaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the halfspaces have inconsistent dimensions.
+    pub fn new(halfspaces: Vec<Halfspace>) -> Self {
+        if let Some(first) = halfspaces.first() {
+            let d = first.dim();
+            assert!(
+                halfspaces.iter().all(|h| h.dim() == d),
+                "halfspace dimension mismatch"
+            );
+        }
+        Self { halfspaces }
+    }
+
+    /// A polytope with a single constraint.
+    pub fn from_halfspace(h: Halfspace) -> Self {
+        Self::new(vec![h])
+    }
+
+    /// Converts a rectangle into its `2d` halfspace constraints
+    /// (finite endpoints only — `±∞` bounds are vacuous).
+    pub fn from_rect(r: &Rect) -> Self {
+        let d = r.dim();
+        let mut hs = Vec::new();
+        for i in 0..d {
+            let mut c = vec![0.0; d];
+            let (lo, hi) = r.interval(i);
+            if hi.is_finite() {
+                c[i] = 1.0;
+                hs.push(Halfspace::new(&c, hi)); // x_i ≤ hi
+            }
+            if lo.is_finite() {
+                c[i] = -1.0;
+                hs.push(Halfspace::new(&c, -lo)); // -x_i ≤ -lo
+            }
+            c[i] = 0.0;
+        }
+        Self::new(hs)
+    }
+
+    /// The defining halfspaces.
+    pub fn halfspaces(&self) -> &[Halfspace] {
+        &self.halfspaces
+    }
+
+    /// The dimensionality, or `None` for the unconstrained polytope.
+    pub fn dim(&self) -> Option<usize> {
+        self.halfspaces.first().map(Halfspace::dim)
+    }
+
+    /// Whether `p` satisfies every constraint (exact; used for reporting).
+    pub fn contains(&self, p: &Point) -> bool {
+        self.halfspaces.iter().all(|h| h.contains(p))
+    }
+
+    /// Classification of a rectangle cell against the polytope.
+    ///
+    /// * `Covered` is exact (every constraint covers the cell).
+    /// * `Disjoint` is exact when witnessed by a single constraint whose
+    ///   complement contains the cell; a cell avoiding the polytope only
+    ///   "diagonally" is conservatively reported `Crossing`, which is safe
+    ///   (see crate docs).
+    pub fn classify_rect(&self, r: &Rect) -> Region {
+        let mut covered = true;
+        for h in &self.halfspaces {
+            match h.classify_rect(r) {
+                Region::Disjoint => return Region::Disjoint,
+                Region::Crossing => covered = false,
+                Region::Covered => {}
+            }
+        }
+        if covered {
+            Region::Covered
+        } else {
+            Region::Crossing
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halfspace_contains() {
+        // x + y ≤ 1
+        let h = Halfspace::new(&[1.0, 1.0], 1.0);
+        assert!(h.contains(&Point::new2(0.5, 0.5)));
+        assert!(h.contains(&Point::new2(0.0, 1.0)));
+        assert!(!h.contains(&Point::new2(0.6, 0.5)));
+    }
+
+    #[test]
+    fn classify_rect_against_halfspace() {
+        let h = Halfspace::new(&[1.0, 0.0], 5.0); // x ≤ 5
+        let inside = Rect::new(&[0.0, 0.0], &[4.0, 9.0]);
+        let crossing = Rect::new(&[4.0, 0.0], &[6.0, 1.0]);
+        let outside = Rect::new(&[6.0, 0.0], &[7.0, 1.0]);
+        assert_eq!(h.classify_rect(&inside), Region::Covered);
+        assert_eq!(h.classify_rect(&crossing), Region::Crossing);
+        assert_eq!(h.classify_rect(&outside), Region::Disjoint);
+    }
+
+    #[test]
+    fn classify_handles_infinite_cells() {
+        let h = Halfspace::new(&[1.0, 1.0], 0.0); // x + y ≤ 0
+        let cell = Rect::full(2);
+        assert_eq!(h.classify_rect(&cell), Region::Crossing);
+    }
+
+    #[test]
+    fn classify_infinite_cell_with_zero_coeff() {
+        // y ≤ 3 ignores the unbounded x extent.
+        let h = Halfspace::new(&[0.0, 1.0], 3.0);
+        let cell = Rect::new(&[f64::NEG_INFINITY, 0.0], &[f64::INFINITY, 2.0]);
+        assert_eq!(h.classify_rect(&cell), Region::Covered);
+    }
+
+    #[test]
+    fn polytope_from_rect_roundtrip() {
+        let r = Rect::new(&[0.0, -1.0], &[2.0, 1.0]);
+        let p = ConvexPolytope::from_rect(&r);
+        assert_eq!(p.halfspaces().len(), 4);
+        for pt in [
+            Point::new2(1.0, 0.0),
+            Point::new2(0.0, -1.0),
+            Point::new2(2.0, 1.0),
+        ] {
+            assert!(p.contains(&pt));
+            assert!(r.contains(&pt));
+        }
+        for pt in [Point::new2(3.0, 0.0), Point::new2(1.0, 2.0)] {
+            assert!(!p.contains(&pt));
+            assert!(!r.contains(&pt));
+        }
+    }
+
+    #[test]
+    fn polytope_classification_matches_intuition() {
+        // Triangle x ≥ 0, y ≥ 0, x + y ≤ 10.
+        let tri = ConvexPolytope::new(vec![
+            Halfspace::new(&[-1.0, 0.0], 0.0),
+            Halfspace::new(&[0.0, -1.0], 0.0),
+            Halfspace::new(&[1.0, 1.0], 10.0),
+        ]);
+        let inside = Rect::new(&[1.0, 1.0], &[2.0, 2.0]);
+        let outside = Rect::new(&[11.0, 11.0], &[12.0, 12.0]);
+        let crossing = Rect::new(&[4.0, 4.0], &[6.0, 6.0]);
+        assert_eq!(tri.classify_rect(&inside), Region::Covered);
+        assert_eq!(tri.classify_rect(&outside), Region::Disjoint);
+        assert_eq!(tri.classify_rect(&crossing), Region::Crossing);
+    }
+
+    #[test]
+    fn conservative_diagonal_disjoint_is_crossing() {
+        // The cell misses the triangle only "diagonally": each individual
+        // constraint crosses the cell, so the conservative test says
+        // Crossing even though the truth is Disjoint. That is permitted.
+        // Triangle x ≥ 0, y ≥ 0, x + y ≤ 1 (so max y = 1). The cell sits
+        // strictly above the triangle, yet both `x ≥ 0` and `x + y ≤ 1`
+        // individually cross it, so no single facet witnesses disjointness.
+        let tri = ConvexPolytope::new(vec![
+            Halfspace::new(&[-1.0, 0.0], 0.0),
+            Halfspace::new(&[0.0, -1.0], 0.0),
+            Halfspace::new(&[1.0, 1.0], 1.0),
+        ]);
+        let cell = Rect::new(&[-2.0, 1.2], &[2.0, 2.0]);
+        assert_eq!(tri.classify_rect(&cell), Region::Crossing);
+    }
+
+    #[test]
+    fn unconstrained_polytope_covers_all() {
+        let p = ConvexPolytope::default();
+        assert!(p.contains(&Point::new2(1e12, -1e12)));
+        assert_eq!(p.classify_rect(&Rect::full(2)), Region::Covered);
+    }
+}

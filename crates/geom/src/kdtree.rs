@@ -1,0 +1,382 @@
+//! A classical, keyword-oblivious kd-tree.
+//!
+//! This is the "structured only" naive solution from the paper's
+//! introduction: answer the geometric predicate with a standard index and
+//! post-filter by keywords. It also serves as the pure-geometry range /
+//! nearest-neighbour substrate for correctness cross-checks.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::{ConvexPolytope, Point, Rect, Region};
+
+const LEAF_SIZE: usize = 8;
+
+#[derive(Debug)]
+struct Node {
+    cell: Rect,
+    /// Range into the permuted index array.
+    start: u32,
+    end: u32,
+    /// Child node ids; `None` for leaves.
+    children: Option<(u32, u32)>,
+}
+
+/// A kd-tree over a fixed set of points, supporting orthogonal range
+/// reporting, convex-region reporting, and t-nearest-neighbour queries
+/// under `L2` and `L∞`.
+#[derive(Debug)]
+pub struct KdTree {
+    points: Vec<Point>,
+    /// Permutation of `0..points.len()`; each node owns a contiguous slice.
+    order: Vec<u32>,
+    nodes: Vec<Node>,
+    dim: usize,
+}
+
+impl KdTree {
+    /// Builds a kd-tree on `points` (object `i` = `points[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or dimensions are inconsistent.
+    pub fn build(points: Vec<Point>) -> Self {
+        let dim = points.first().expect("kd-tree needs points").dim();
+        assert!(points.iter().all(|p| p.dim() == dim));
+        let order: Vec<u32> = (0..points.len() as u32).collect();
+        let mut tree = Self {
+            points,
+            order,
+            nodes: Vec::new(),
+            dim,
+        };
+        let n = tree.order.len();
+        tree.build_node(0, n, 0, Rect::full(dim));
+        tree
+    }
+
+    fn build_node(&mut self, start: usize, end: usize, depth: usize, cell: Rect) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            cell,
+            start: start as u32,
+            end: end as u32,
+            children: None,
+        });
+        if end - start <= LEAF_SIZE {
+            return id;
+        }
+        let axis = depth % self.dim;
+        let mid = (start + end) / 2;
+        let points = &self.points;
+        self.order[start..end].select_nth_unstable_by(mid - start, |&a, &b| {
+            points[a as usize]
+                .get(axis)
+                .total_cmp(&points[b as usize].get(axis))
+                .then(a.cmp(&b))
+        });
+        let split = self.points[self.order[mid] as usize].get(axis);
+        let (lcell, rcell) = cell.split(axis, split);
+        let left = self.build_node(start, mid, depth + 1, lcell);
+        let right = self.build_node(mid, end, depth + 1, rcell);
+        self.nodes[id as usize].children = Some((left, right));
+        id
+    }
+
+    /// The number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the tree is empty (never true; build rejects empty input).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The indexed points.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Reports the indices of all points inside `q`.
+    pub fn range_report(&self, q: &Rect) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.report_rec(0, &|cell| q.classify(cell), &|p| q.contains(p), &mut out);
+        out
+    }
+
+    /// Reports the indices of all points inside a convex polytope.
+    pub fn report_polytope(&self, q: &ConvexPolytope) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.report_rec(
+            0,
+            &|cell| q.classify_rect(cell),
+            &|p| q.contains(p),
+            &mut out,
+        );
+        out
+    }
+
+    fn report_rec(
+        &self,
+        node: u32,
+        classify: &dyn Fn(&Rect) -> Region,
+        contains: &dyn Fn(&Point) -> bool,
+        out: &mut Vec<usize>,
+    ) {
+        let n = &self.nodes[node as usize];
+        match classify(&n.cell) {
+            Region::Disjoint => {}
+            Region::Covered => {
+                out.extend(
+                    self.order[n.start as usize..n.end as usize]
+                        .iter()
+                        .map(|&i| i as usize),
+                );
+            }
+            Region::Crossing => {
+                if let Some((l, r)) = n.children {
+                    self.report_rec(l, classify, contains, out);
+                    self.report_rec(r, classify, contains, out);
+                } else {
+                    for &i in &self.order[n.start as usize..n.end as usize] {
+                        if contains(&self.points[i as usize]) {
+                            out.push(i as usize);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The `t` nearest points to `q` under `L∞` distance (ties broken by
+    /// index). Returns fewer than `t` indices iff the tree holds fewer
+    /// points. Result is sorted by distance.
+    pub fn knn_linf(&self, q: &Point, t: usize) -> Vec<usize> {
+        self.knn(q, t, &|a, b| a.linf(b), &|cell, p| dist_rect_linf(cell, p))
+    }
+
+    /// The `t` nearest points to `q` under `L2` distance (compared via
+    /// squared distances; ties broken by index). Result is sorted.
+    pub fn knn_l2(&self, q: &Point, t: usize) -> Vec<usize> {
+        self.knn(q, t, &|a, b| a.l2_sq(b), &|cell, p| dist_rect_l2sq(cell, p))
+    }
+
+    fn knn(
+        &self,
+        q: &Point,
+        t: usize,
+        point_dist: &dyn Fn(&Point, &Point) -> f64,
+        cell_dist: &dyn Fn(&Rect, &Point) -> f64,
+    ) -> Vec<usize> {
+        if t == 0 {
+            return Vec::new();
+        }
+        // Best-first search: a min-heap of (cell distance, node), and a
+        // max-heap of the current best t candidates.
+        let mut frontier: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
+        frontier.push(Reverse((OrdF64(cell_dist(&self.nodes[0].cell, q)), 0)));
+        let mut best: BinaryHeap<(OrdF64, u32)> = BinaryHeap::new();
+
+        while let Some(Reverse((OrdF64(d), node))) = frontier.pop() {
+            if best.len() == t && d > best.peek().unwrap().0 .0 {
+                break;
+            }
+            let n = &self.nodes[node as usize];
+            if let Some((l, r)) = n.children {
+                for c in [l, r] {
+                    let cd = cell_dist(&self.nodes[c as usize].cell, q);
+                    if best.len() < t || cd <= best.peek().unwrap().0 .0 {
+                        frontier.push(Reverse((OrdF64(cd), c)));
+                    }
+                }
+            } else {
+                for &i in &self.order[n.start as usize..n.end as usize] {
+                    let pd = point_dist(&self.points[i as usize], q);
+                    if best.len() < t {
+                        best.push((OrdF64(pd), i));
+                    } else if (OrdF64(pd), i) < *best.peek().unwrap() {
+                        best.pop();
+                        best.push((OrdF64(pd), i));
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(OrdF64, u32)> = best.into_vec();
+        out.sort();
+        out.into_iter().map(|(_, i)| i as usize).collect()
+    }
+}
+
+/// Total-ordered f64 wrapper for heap keys (inputs are never NaN).
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Minimum `L∞` distance from `p` to any point of `cell`.
+fn dist_rect_linf(cell: &Rect, p: &Point) -> f64 {
+    (0..cell.dim())
+        .map(|i| {
+            let c = p.get(i);
+            let (lo, hi) = cell.interval(i);
+            if c < lo {
+                lo - c
+            } else if c > hi {
+                c - hi
+            } else {
+                0.0
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Minimum squared `L2` distance from `p` to any point of `cell`.
+fn dist_rect_l2sq(cell: &Rect, p: &Point) -> f64 {
+    (0..cell.dim())
+        .map(|i| {
+            let c = p.get(i);
+            let (lo, hi) = cell.interval(i);
+            let d = if c < lo {
+                lo - c
+            } else if c > hi {
+                c - hi
+            } else {
+                0.0
+            };
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let coords: Vec<f64> = (0..dim).map(|_| rng.gen_range(-100.0..100.0)).collect();
+                Point::new(&coords)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn range_report_matches_bruteforce() {
+        let points = random_points(500, 2, 1);
+        let tree = KdTree::build(points.clone());
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let x0: f64 = rng.gen_range(-120.0..120.0);
+            let x1: f64 = rng.gen_range(-120.0..120.0);
+            let y0: f64 = rng.gen_range(-120.0..120.0);
+            let y1: f64 = rng.gen_range(-120.0..120.0);
+            let q = Rect::new(&[x0.min(x1), y0.min(y1)], &[x0.max(x1), y0.max(y1)]);
+            let mut got = tree.range_report(&q);
+            got.sort_unstable();
+            let expected: Vec<usize> = (0..points.len())
+                .filter(|&i| q.contains(&points[i]))
+                .collect();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn range_report_3d() {
+        let points = random_points(300, 3, 3);
+        let tree = KdTree::build(points.clone());
+        let q = Rect::new(&[-50.0, -50.0, -50.0], &[50.0, 50.0, 50.0]);
+        let mut got = tree.range_report(&q);
+        got.sort_unstable();
+        let expected: Vec<usize> = (0..points.len())
+            .filter(|&i| q.contains(&points[i]))
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn polytope_report_matches_bruteforce() {
+        use crate::Halfspace;
+        let points = random_points(400, 2, 4);
+        let tree = KdTree::build(points.clone());
+        let q = ConvexPolytope::new(vec![
+            Halfspace::new(&[1.0, 1.0], 50.0),
+            Halfspace::new(&[-1.0, 0.5], 30.0),
+        ]);
+        let mut got = tree.report_polytope(&q);
+        got.sort_unstable();
+        let expected: Vec<usize> = (0..points.len())
+            .filter(|&i| q.contains(&points[i]))
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn knn_matches_bruteforce() {
+        let points = random_points(300, 2, 5);
+        let tree = KdTree::build(points.clone());
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..30 {
+            let q = Point::new2(rng.gen_range(-120.0..120.0), rng.gen_range(-120.0..120.0));
+            for t in [1, 3, 10] {
+                let got = tree.knn_l2(&q, t);
+                let mut expected: Vec<usize> = (0..points.len()).collect();
+                expected.sort_by(|&a, &b| {
+                    points[a]
+                        .l2_sq(&q)
+                        .total_cmp(&points[b].l2_sq(&q))
+                        .then(a.cmp(&b))
+                });
+                expected.truncate(t);
+                assert_eq!(got, expected, "L2 t={t}");
+
+                let got = tree.knn_linf(&q, t);
+                let mut expected: Vec<usize> = (0..points.len()).collect();
+                expected.sort_by(|&a, &b| {
+                    points[a]
+                        .linf(&q)
+                        .total_cmp(&points[b].linf(&q))
+                        .then(a.cmp(&b))
+                });
+                expected.truncate(t);
+                assert_eq!(got, expected, "L∞ t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_t_larger_than_n() {
+        let points = random_points(5, 2, 7);
+        let tree = KdTree::build(points);
+        assert_eq!(tree.knn_l2(&Point::new2(0.0, 0.0), 10).len(), 5);
+    }
+
+    #[test]
+    fn knn_zero() {
+        let points = random_points(5, 2, 8);
+        let tree = KdTree::build(points);
+        assert!(tree.knn_l2(&Point::new2(0.0, 0.0), 0).is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let mut points = vec![Point::new2(1.0, 1.0); 100];
+        points.push(Point::new2(2.0, 2.0));
+        let tree = KdTree::build(points);
+        let q = Rect::new(&[0.5, 0.5], &[1.5, 1.5]);
+        assert_eq!(tree.range_report(&q).len(), 100);
+    }
+}

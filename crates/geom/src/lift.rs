@@ -1,0 +1,134 @@
+//! The lifting map and Euclidean balls.
+//!
+//! Corollary 6 solves `d`-dimensional SRP-KW with a `(d+1)`-dimensional
+//! LC-KW index via the classical lifting transform: map each point
+//! `p ∈ R^d` to `p' = (p, |p|²) ∈ R^{d+1}`; then `p ∈ B(c, r)` iff `p'`
+//! satisfies the halfspace
+//!
+//! ```text
+//! |p|² − 2·c·p ≤ r² − |c|²   ⇔   (−2c, 1) · p' ≤ r² − |c|².
+//! ```
+
+use crate::{Halfspace, Point};
+
+/// A Euclidean ball `B(center, radius)` in `R^d` — the query shape of
+/// SRP-KW ("boolean range query with keywords").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ball {
+    center: Point,
+    radius: f64,
+}
+
+impl Ball {
+    /// Creates a ball.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius < 0`.
+    pub fn new(center: Point, radius: f64) -> Self {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        Self { center, radius }
+    }
+
+    /// The center point.
+    pub fn center(&self) -> &Point {
+        &self.center
+    }
+
+    /// The radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// The dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.center.dim()
+    }
+
+    /// Whether `p` lies in the (closed) ball.
+    pub fn contains(&self, p: &Point) -> bool {
+        self.center.l2_sq(p) <= self.radius * self.radius
+    }
+}
+
+/// Lifts `p ∈ R^d` to `(p, |p|²) ∈ R^{d+1}`.
+pub fn lift_point(p: &Point) -> Point {
+    p.extend(p.norm_sq())
+}
+
+/// The `(d+1)`-dimensional halfspace whose intersection with the lifted
+/// point set equals the lifted preimage of `ball`.
+pub fn lift_ball(ball: &Ball) -> Halfspace {
+    let d = ball.dim();
+    let mut coeffs = Vec::with_capacity(d + 1);
+    for i in 0..d {
+        coeffs.push(-2.0 * ball.center().get(i));
+    }
+    coeffs.push(1.0);
+    let bound = ball.radius() * ball.radius() - ball.center().norm_sq();
+    Halfspace::new(&coeffs, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn ball_contains_boundary() {
+        let b = Ball::new(Point::new2(0.0, 0.0), 5.0);
+        assert!(b.contains(&Point::new2(3.0, 4.0))); // on boundary
+        assert!(b.contains(&Point::new2(1.0, 1.0)));
+        assert!(!b.contains(&Point::new2(3.1, 4.0)));
+    }
+
+    #[test]
+    fn lift_point_appends_norm() {
+        let p = Point::new2(3.0, 4.0);
+        let l = lift_point(&p);
+        assert_eq!(l.coords(), &[3.0, 4.0, 25.0]);
+    }
+
+    #[test]
+    fn lifted_halfspace_agrees_with_ball_membership() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let center = Point::new2(rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0));
+            let radius = rng.gen_range(0.0..8.0);
+            let ball = Ball::new(center, radius);
+            let hs = lift_ball(&ball);
+            let p = Point::new2(rng.gen_range(-15.0..15.0), rng.gen_range(-15.0..15.0));
+            assert_eq!(
+                ball.contains(&p),
+                hs.contains(&lift_point(&p)),
+                "ball {ball:?} point {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lifted_halfspace_agrees_in_3d() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let c = Point::new3(
+                rng.gen_range(-5.0..5.0),
+                rng.gen_range(-5.0..5.0),
+                rng.gen_range(-5.0..5.0),
+            );
+            let ball = Ball::new(c, rng.gen_range(0.0..6.0));
+            let hs = lift_ball(&ball);
+            let p = Point::new3(
+                rng.gen_range(-8.0..8.0),
+                rng.gen_range(-8.0..8.0),
+                rng.gen_range(-8.0..8.0),
+            );
+            assert_eq!(ball.contains(&p), hs.contains(&lift_point(&p)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn negative_radius_rejected() {
+        let _ = Ball::new(Point::new1(0.0), -1.0);
+    }
+}

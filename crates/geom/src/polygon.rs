@@ -1,0 +1,217 @@
+//! 2D convex polygons — the cells of the Willard partition tree.
+//!
+//! The partition tree of Appendix D associates each node with a convex
+//! cell. In 2D a cell is the intersection of the splitting halfplanes on
+//! the root path; we store it as an explicit convex polygon (counter-
+//! clockwise vertex list) clipped out of a bounding box of the data, so
+//! that covered/crossing classification is a vertex scan.
+
+use crate::{Halfspace, Point, Region};
+
+/// A convex polygon in the plane with counter-clockwise vertices.
+///
+/// May be empty (no vertices) after clipping.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Polygon {
+    vertices: Vec<(f64, f64)>,
+}
+
+impl Polygon {
+    /// Creates a polygon from counter-clockwise vertices.
+    pub fn new(vertices: Vec<(f64, f64)>) -> Self {
+        Self { vertices }
+    }
+
+    /// An axis-aligned box as a polygon.
+    pub fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        assert!(x0 <= x1 && y0 <= y1);
+        Self::new(vec![(x0, y0), (x1, y0), (x1, y1), (x0, y1)])
+    }
+
+    /// The vertex list (counter-clockwise).
+    pub fn vertices(&self) -> &[(f64, f64)] {
+        &self.vertices
+    }
+
+    /// Whether the polygon has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Clips the polygon by the halfplane `a·x + b·y ≤ c`
+    /// (Sutherland–Hodgman; the result is convex and counter-clockwise).
+    #[must_use]
+    pub fn clip(&self, a: f64, b: f64, c: f64) -> Polygon {
+        let n = self.vertices.len();
+        if n == 0 {
+            return self.clone();
+        }
+        let side = |&(x, y): &(f64, f64)| a * x + b * y - c;
+        let mut out = Vec::with_capacity(n + 1);
+        for i in 0..n {
+            let cur = self.vertices[i];
+            let nxt = self.vertices[(i + 1) % n];
+            let sc = side(&cur);
+            let sn = side(&nxt);
+            if sc <= 0.0 {
+                out.push(cur);
+            }
+            if (sc < 0.0 && sn > 0.0) || (sc > 0.0 && sn < 0.0) {
+                // Edge crosses the boundary; add the intersection point.
+                let t = sc / (sc - sn);
+                out.push((cur.0 + t * (nxt.0 - cur.0), cur.1 + t * (nxt.1 - cur.1)));
+            }
+        }
+        Polygon::new(out)
+    }
+
+    /// Whether the polygon contains `(x, y)` (boundary inclusive, with a
+    /// relative tolerance appropriate for clipped coordinates).
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        let n = self.vertices.len();
+        if n < 3 {
+            return false;
+        }
+        for i in 0..n {
+            let (x0, y0) = self.vertices[i];
+            let (x1, y1) = self.vertices[(i + 1) % n];
+            let cross = (x1 - x0) * (y - y0) - (y1 - y0) * (x - x0);
+            let scale = ((x1 - x0).abs() + (y1 - y0).abs()).max(1.0)
+                * ((x - x0).abs() + (y - y0).abs()).max(1.0);
+            if cross < -1e-9 * scale {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Classification of this polygon (a tree cell) against a convex query
+    /// given as halfspaces.
+    ///
+    /// * `Covered`: every vertex satisfies every halfspace (exact for a
+    ///   bounded cell);
+    /// * `Disjoint`: some halfspace is violated by every vertex (exact);
+    /// * otherwise `Crossing` (conservative, safe).
+    pub fn classify(&self, halfspaces: &[Halfspace]) -> Region {
+        if self.is_empty() {
+            return Region::Disjoint;
+        }
+        let mut covered = true;
+        for h in halfspaces {
+            debug_assert_eq!(h.dim(), 2, "polygon cells are 2-dimensional");
+            let mut any_in = false;
+            let mut all_in = true;
+            for &(x, y) in &self.vertices {
+                if h.contains(&Point::new2(x, y)) {
+                    any_in = true;
+                } else {
+                    all_in = false;
+                }
+            }
+            if !any_in {
+                return Region::Disjoint;
+            }
+            if !all_in {
+                covered = false;
+            }
+        }
+        if covered {
+            Region::Covered
+        } else {
+            Region::Crossing
+        }
+    }
+
+    /// Polygon area (shoelace formula; non-negative for CCW input).
+    pub fn area(&self) -> f64 {
+        let n = self.vertices.len();
+        if n < 3 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for i in 0..n {
+            let (x0, y0) = self.vertices[i];
+            let (x1, y1) = self.vertices[(i + 1) % n];
+            acc += x0 * y1 - x1 * y0;
+        }
+        acc / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::rect(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn rect_polygon_contains() {
+        let p = unit_square();
+        assert!(p.contains(0.5, 0.5));
+        assert!(p.contains(0.0, 0.0)); // boundary
+        assert!(!p.contains(1.5, 0.5));
+    }
+
+    #[test]
+    fn clip_halves_square() {
+        // x ≤ 0.5
+        let p = unit_square().clip(1.0, 0.0, 0.5);
+        assert!((p.area() - 0.5).abs() < 1e-12);
+        assert!(p.contains(0.25, 0.5));
+        assert!(!p.contains(0.75, 0.5));
+    }
+
+    #[test]
+    fn clip_diagonal() {
+        // x + y ≤ 1 cuts the unit square into a triangle of area 1/2.
+        let p = unit_square().clip(1.0, 1.0, 1.0);
+        assert!((p.area() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_to_empty() {
+        let p = unit_square().clip(1.0, 0.0, -1.0); // x ≤ -1
+        assert!(p.is_empty() || p.area() == 0.0);
+        assert!(!p.contains(0.5, 0.5));
+    }
+
+    #[test]
+    fn classify_against_halfplanes() {
+        let p = unit_square();
+        let inside = [Halfspace::new(&[1.0, 0.0], 2.0)]; // x ≤ 2 covers
+        let disjoint = [Halfspace::new(&[1.0, 0.0], -1.0)]; // x ≤ -1
+        let crossing = [Halfspace::new(&[1.0, 0.0], 0.5)]; // x ≤ 0.5
+        assert_eq!(p.classify(&inside), Region::Covered);
+        assert_eq!(p.classify(&disjoint), Region::Disjoint);
+        assert_eq!(p.classify(&crossing), Region::Crossing);
+    }
+
+    #[test]
+    fn empty_polygon_is_disjoint() {
+        let p = Polygon::new(vec![]);
+        assert_eq!(
+            p.classify(&[Halfspace::new(&[1.0, 0.0], 10.0)]),
+            Region::Disjoint
+        );
+    }
+
+    #[test]
+    fn area_of_triangle() {
+        let t = Polygon::new(vec![(0.0, 0.0), (2.0, 0.0), (0.0, 2.0)]);
+        assert!((t.area() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_clips_stay_consistent() {
+        let mut p = Polygon::rect(-10.0, -10.0, 10.0, 10.0);
+        // Clip down to the triangle x ≥ 0, y ≥ 0, x + y ≤ 5.
+        p = p.clip(-1.0, 0.0, 0.0);
+        p = p.clip(0.0, -1.0, 0.0);
+        p = p.clip(1.0, 1.0, 5.0);
+        assert!((p.area() - 12.5).abs() < 1e-9);
+        assert!(p.contains(1.0, 1.0));
+        assert!(!p.contains(4.0, 4.0));
+    }
+}

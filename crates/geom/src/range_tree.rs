@@ -1,0 +1,240 @@
+//! A 2D range tree — the classical `O(log² n + out)` orthogonal range
+//! reporting structure.
+//!
+//! This is the second canonical "structured only" baseline (besides the
+//! kd-tree): a balanced binary tree over the x-order where every node
+//! stores its points sorted by y, built bottom-up by merging
+//! (`O(n log n)` time, `O(n log n)` space). A query decomposes the
+//! x-range into `O(log n)` canonical nodes and binary-searches the
+//! y-range in each.
+
+use crate::{Point, Rect};
+
+#[derive(Debug)]
+struct Node {
+    /// Range of the x-sorted order covered by this node.
+    start: u32,
+    end: u32,
+    /// The covered points (indices) sorted by `(y, id)`.
+    by_y: Vec<u32>,
+    children: Option<(u32, u32)>,
+}
+
+/// A static 2D range tree over points.
+#[derive(Debug)]
+pub struct RangeTree2D {
+    points: Vec<Point>,
+    /// Point indices sorted by `(x, id)`.
+    x_order: Vec<u32>,
+    nodes: Vec<Node>,
+}
+
+impl RangeTree2D {
+    /// Builds the tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or not 2-dimensional.
+    pub fn build(points: Vec<Point>) -> Self {
+        assert!(!points.is_empty(), "range tree needs points");
+        assert!(points.iter().all(|p| p.dim() == 2), "range tree is 2D");
+        let mut x_order: Vec<u32> = (0..points.len() as u32).collect();
+        x_order.sort_unstable_by(|&a, &b| {
+            points[a as usize]
+                .get(0)
+                .total_cmp(&points[b as usize].get(0))
+                .then(a.cmp(&b))
+        });
+        let mut tree = Self {
+            points,
+            x_order,
+            nodes: Vec::new(),
+        };
+        let n = tree.x_order.len();
+        tree.build_node(0, n);
+        tree
+    }
+
+    fn build_node(&mut self, start: usize, end: usize) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            start: start as u32,
+            end: end as u32,
+            by_y: Vec::new(),
+            children: None,
+        });
+        if end - start <= 1 {
+            self.nodes[id as usize].by_y = self.x_order[start..end].to_vec();
+            return id;
+        }
+        let mid = (start + end) / 2;
+        let left = self.build_node(start, mid);
+        let right = self.build_node(mid, end);
+        // Merge children's y-lists (they are each sorted by (y, id)).
+        let merged = {
+            let l = &self.nodes[left as usize].by_y;
+            let r = &self.nodes[right as usize].by_y;
+            let mut out = Vec::with_capacity(l.len() + r.len());
+            let (mut i, mut j) = (0, 0);
+            while i < l.len() && j < r.len() {
+                if self.y_key(l[i]) <= self.y_key(r[j]) {
+                    out.push(l[i]);
+                    i += 1;
+                } else {
+                    out.push(r[j]);
+                    j += 1;
+                }
+            }
+            out.extend_from_slice(&l[i..]);
+            out.extend_from_slice(&r[j..]);
+            out
+        };
+        self.nodes[id as usize].by_y = merged;
+        self.nodes[id as usize].children = Some((left, right));
+        id
+    }
+
+    fn y_key(&self, i: u32) -> (f64, u32) {
+        (self.points[i as usize].get(1), i)
+    }
+
+    /// The number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Never true: the constructor rejects empty input.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Space in 64-bit words (the `O(n log n)` y-lists dominate).
+    pub fn space_words(&self) -> usize {
+        self.nodes.iter().map(|n| n.by_y.len() + 4).sum()
+    }
+
+    /// Reports the indices of all points in `q`.
+    pub fn range_report(&self, q: &Rect) -> Vec<usize> {
+        assert_eq!(q.dim(), 2);
+        let mut out = Vec::new();
+        self.query_rec(0, q, &mut out);
+        out
+    }
+
+    fn query_rec(&self, node: u32, q: &Rect, out: &mut Vec<usize>) {
+        let n = &self.nodes[node as usize];
+        let (x1, x2) = q.interval(0);
+        // X-extent of the node (by the sorted order).
+        let first = self.x_order[n.start as usize];
+        let last = self.x_order[n.end as usize - 1];
+        let lo_x = self.points[first as usize].get(0);
+        let hi_x = self.points[last as usize].get(0);
+        if hi_x < x1 || x2 < lo_x {
+            return;
+        }
+        if x1 <= lo_x && hi_x <= x2 {
+            // Canonical node: binary search the y-range in the y-list.
+            let (y1, y2) = q.interval(1);
+            let from = n
+                .by_y
+                .partition_point(|&i| self.points[i as usize].get(1) < y1);
+            let to = n
+                .by_y
+                .partition_point(|&i| self.points[i as usize].get(1) <= y2);
+            out.extend(n.by_y[from..to].iter().map(|&i| i as usize));
+            return;
+        }
+        if let Some((l, r)) = n.children {
+            self.query_rec(l, q, out);
+            self.query_rec(r, q, out);
+        } else {
+            // Single point straddling the x-boundary.
+            for &i in &n.by_y {
+                if q.contains(&self.points[i as usize]) {
+                    out.push(i as usize);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new2(rng.gen_range(-50..50) as f64, rng.gen_range(-50..50) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn matches_bruteforce() {
+        let points = random_points(400, 1);
+        let tree = RangeTree2D::build(points.clone());
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let x: f64 = rng.gen_range(-60..60) as f64;
+            let y: f64 = rng.gen_range(-60..60) as f64;
+            let q = Rect::new(
+                &[x, y],
+                &[
+                    x + rng.gen_range(0..40) as f64,
+                    y + rng.gen_range(0..40) as f64,
+                ],
+            );
+            let mut got = tree.range_report(&q);
+            got.sort_unstable();
+            let expected: Vec<usize> = (0..points.len())
+                .filter(|&i| q.contains(&points[i]))
+                .collect();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn duplicates_and_boundaries() {
+        let mut points = vec![Point::new2(5.0, 5.0); 20];
+        points.push(Point::new2(5.0, 6.0));
+        points.push(Point::new2(6.0, 5.0));
+        let tree = RangeTree2D::build(points);
+        let q = Rect::new(&[5.0, 5.0], &[5.0, 5.0]);
+        assert_eq!(tree.range_report(&q).len(), 20);
+        let q = Rect::new(&[5.0, 5.0], &[6.0, 6.0]);
+        assert_eq!(tree.range_report(&q).len(), 22);
+    }
+
+    #[test]
+    fn unbounded_queries() {
+        let points = random_points(100, 3);
+        let tree = RangeTree2D::build(points.clone());
+        let q = Rect::full(2);
+        assert_eq!(tree.range_report(&q).len(), 100);
+        let half = Rect::new(&[0.0, f64::NEG_INFINITY], &[f64::INFINITY, f64::INFINITY]);
+        let mut got = tree.range_report(&half);
+        got.sort_unstable();
+        let expected: Vec<usize> = (0..100).filter(|&i| points[i].get(0) >= 0.0).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn space_is_n_log_n_ish() {
+        let points = random_points(1024, 4);
+        let tree = RangeTree2D::build(points);
+        let words = tree.space_words();
+        // ~ n·(log2 n + 1) list entries + 4 words per node (~2n nodes).
+        assert!(words < 1024 * 22, "space {words}");
+        assert!(words > 1024 * 10, "space {words}");
+    }
+
+    #[test]
+    fn single_point() {
+        let tree = RangeTree2D::build(vec![Point::new2(1.0, 2.0)]);
+        assert_eq!(tree.range_report(&Rect::full(2)), vec![0]);
+        assert!(tree
+            .range_report(&Rect::new(&[2.0, 2.0], &[3.0, 3.0]))
+            .is_empty());
+    }
+}

@@ -1,0 +1,218 @@
+//! Rank-space normalization (Step 4 of the framework, §3.4).
+//!
+//! The kd-tree conversion assumes *general position* — no two objects
+//! share a coordinate on any dimension. §3.4 removes the assumption by
+//! sorting the objects on each dimension (ties broken by object id) and
+//! replacing coordinates with their ranks; a query rectangle is converted
+//! to rank space in `O(log N)` by binary search without affecting the
+//! result.
+
+use crate::{Point, Rect};
+
+/// A per-dimension rank mapping over a fixed point set.
+#[derive(Clone, Debug)]
+pub struct RankSpace {
+    /// For each dimension: `(coordinate, object index)` sorted
+    /// lexicographically. The rank of an object on a dimension is its
+    /// position in this order.
+    sorted: Vec<Vec<(f64, u32)>>,
+    /// `ranks[i]` is the rank-space point of object `i`.
+    ranks: Vec<Point>,
+    dim: usize,
+}
+
+impl RankSpace {
+    /// Builds the rank mapping for `points` (object `i` = `points[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, dimensions are inconsistent, or any
+    /// coordinate is NaN.
+    pub fn build(points: &[Point]) -> Self {
+        let dim = points.first().expect("rank space needs points").dim();
+        assert!(points.iter().all(|p| p.dim() == dim));
+        assert!(
+            points
+                .iter()
+                .all(|p| p.coords().iter().all(|c| !c.is_nan())),
+            "NaN coordinates are not orderable"
+        );
+        let mut sorted = Vec::with_capacity(dim);
+        let mut rank_coords = vec![vec![0.0f64; dim]; points.len()];
+        #[allow(clippy::needless_range_loop)] // `d` indexes per-point coord vectors, not one slice
+        for d in 0..dim {
+            let mut order: Vec<(f64, u32)> = points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.get(d), i as u32))
+                .collect();
+            order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            for (rank, &(_, idx)) in order.iter().enumerate() {
+                rank_coords[idx as usize][d] = rank as f64;
+            }
+            sorted.push(order);
+        }
+        let ranks = rank_coords.iter().map(|c| Point::new(c)).collect();
+        Self { sorted, ranks, dim }
+    }
+
+    /// The dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The number of objects.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Whether the mapping is over an empty set (never true; kept for API
+    /// completeness).
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// The rank-space image of object `i`.
+    ///
+    /// All images have pairwise-distinct coordinates on every dimension —
+    /// the general-position property the kd framework needs.
+    pub fn point(&self, i: usize) -> Point {
+        self.ranks[i]
+    }
+
+    /// Converts an original-space query rectangle into rank space.
+    ///
+    /// Returns `None` when the query provably selects nothing (its
+    /// interval on some dimension contains no data coordinate);
+    /// otherwise the returned rectangle selects exactly the objects the
+    /// original rectangle selects. `O(d log N)`.
+    pub fn rect(&self, q: &Rect) -> Option<Rect> {
+        assert_eq!(q.dim(), self.dim, "query dimension mismatch");
+        let mut lo = Vec::with_capacity(self.dim);
+        let mut hi = Vec::with_capacity(self.dim);
+        for d in 0..self.dim {
+            let (qlo, qhi) = q.interval(d);
+            let col = &self.sorted[d];
+            // Infinite endpoints stay infinite: an unbounded query side
+            // must keep covering the (unbounded) outer tree cells, or
+            // covered/crossing classification degrades at the boundary.
+            let l = if qlo == f64::NEG_INFINITY {
+                f64::NEG_INFINITY
+            } else {
+                // First rank with coordinate ≥ qlo.
+                col.partition_point(|&(c, _)| c < qlo) as f64
+            };
+            let h = if qhi == f64::INFINITY {
+                f64::INFINITY
+            } else {
+                // Last rank with coordinate ≤ qhi (exclusive bound, minus
+                // one).
+                col.partition_point(|&(c, _)| c <= qhi) as f64 - 1.0
+            };
+            lo.push(l);
+            hi.push(h);
+        }
+        if lo.iter().zip(&hi).any(|(a, b)| a > b) {
+            None
+        } else {
+            Some(Rect::new(&lo, &hi))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(raw: &[(f64, f64)]) -> Vec<Point> {
+        raw.iter().map(|&(x, y)| Point::new2(x, y)).collect()
+    }
+
+    #[test]
+    fn ranks_are_distinct_despite_ties() {
+        let points = pts(&[(1.0, 5.0), (1.0, 5.0), (2.0, 5.0), (1.0, 3.0)]);
+        let rs = RankSpace::build(&points);
+        for d in 0..2 {
+            let mut seen: Vec<f64> = (0..points.len()).map(|i| rs.point(i).get(d)).collect();
+            seen.sort_by(f64::total_cmp);
+            for w in seen.windows(2) {
+                assert!(w[0] < w[1], "duplicate rank on dim {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_selects_same_objects() {
+        let points = pts(&[(1.0, 1.0), (1.0, 2.0), (2.0, 1.0), (3.0, 3.0), (2.0, 2.0)]);
+        let rs = RankSpace::build(&points);
+        let q = Rect::new(&[1.0, 1.0], &[2.0, 2.0]);
+        let rq = rs.rect(&q).expect("non-empty");
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(
+                q.contains(p),
+                rq.contains(&rs.point(i)),
+                "object {i} disagreement"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_coordinates_included() {
+        let points = pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        let rs = RankSpace::build(&points);
+        // Query whose endpoints coincide with data coordinates.
+        let q = Rect::new(&[1.0, 0.0], &[2.0, 1.0]);
+        let rq = rs.rect(&q).expect("non-empty");
+        assert!(!rq.contains(&rs.point(0)));
+        assert!(rq.contains(&rs.point(1)));
+        assert!(!rq.contains(&rs.point(2))); // y = 2 > 1
+    }
+
+    #[test]
+    fn empty_query_maps_to_empty() {
+        let points = pts(&[(0.0, 0.0), (1.0, 1.0)]);
+        let rs = RankSpace::build(&points);
+        let q = Rect::new(&[5.0, 5.0], &[6.0, 6.0]);
+        assert!(rs.rect(&q).is_none(), "provably empty");
+    }
+
+    #[test]
+    fn infinite_query_covers_all() {
+        let points = pts(&[(0.0, 0.0), (-5.0, 3.0), (7.0, -2.0)]);
+        let rs = RankSpace::build(&points);
+        let rq = rs.rect(&Rect::full(2)).expect("non-empty");
+        for i in 0..3 {
+            assert!(rq.contains(&rs.point(i)));
+        }
+    }
+
+    #[test]
+    fn randomized_equivalence() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        // Coordinates drawn from a tiny domain to force many ties.
+        let points: Vec<Point> = (0..60)
+            .map(|_| Point::new2(rng.gen_range(0..5) as f64, rng.gen_range(0..5) as f64))
+            .collect();
+        let rs = RankSpace::build(&points);
+        for _ in 0..100 {
+            let x0 = rng.gen_range(-1..6) as f64;
+            let x1 = rng.gen_range(-1..6) as f64;
+            let y0 = rng.gen_range(-1..6) as f64;
+            let y1 = rng.gen_range(-1..6) as f64;
+            let q = Rect::new(&[x0.min(x1), y0.min(y1)], &[x0.max(x1), y0.max(y1)]);
+            match rs.rect(&q) {
+                Some(rq) => {
+                    for (i, p) in points.iter().enumerate() {
+                        assert_eq!(q.contains(p), rq.contains(&rs.point(i)));
+                    }
+                }
+                None => {
+                    for p in &points {
+                        assert!(!q.contains(p));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Classification of a cell against a query region.
+
+/// How a tree-node cell relates to a query region.
+///
+/// This is the covered/crossing distinction of §3.3 of the paper. The
+/// query algorithm only requires the classification to be *safe*:
+///
+/// * `Disjoint` must be exact — a cell classified as disjoint is pruned;
+/// * `Covered` must be exact — it is used by analysis/statistics and by
+///   early-full-report optimizations;
+/// * `Crossing` may be conservative — a truly disjoint cell classified as
+///   crossing merely costs extra work, never correctness, because every
+///   reported object is re-validated point-wise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Region {
+    /// The cell provably does not intersect the query.
+    Disjoint,
+    /// The cell intersects the query boundary (or could not be proven
+    /// disjoint/covered).
+    Crossing,
+    /// The cell is entirely contained in the query.
+    Covered,
+}
+
+impl Region {
+    /// Whether the query algorithm should descend into the cell.
+    #[inline]
+    pub fn intersects(self) -> bool {
+        self != Region::Disjoint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersects_semantics() {
+        assert!(!Region::Disjoint.intersects());
+        assert!(Region::Crossing.intersects());
+        assert!(Region::Covered.intersects());
+    }
+}

@@ -1,0 +1,257 @@
+//! `d`-simplices and the hyperplane machinery to build them.
+//!
+//! SP-KW (Appendix D) queries with a `d`-simplex — a polyhedron in `R^d`
+//! with `d + 1` facets. A simplex is stored as its vertices plus the
+//! derived facet halfspaces, so it can be handed to the same query path
+//! as a general [`crate::ConvexPolytope`].
+
+use crate::{ConvexPolytope, Halfspace, Point};
+
+/// A `d`-simplex given by `d + 1` affinely independent vertices.
+#[derive(Clone, Debug)]
+pub struct Simplex {
+    vertices: Vec<Point>,
+    facets: Vec<Halfspace>,
+}
+
+impl Simplex {
+    /// Builds a simplex from `d + 1` vertices.
+    ///
+    /// Returns `None` if the vertices are affinely dependent (degenerate
+    /// simplex), mirroring the general-position discussion of App. D.4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of vertices is not `dim + 1` or dimensions
+    /// mismatch.
+    pub fn new(vertices: Vec<Point>) -> Option<Self> {
+        let d = vertices
+            .first()
+            .expect("simplex needs at least one vertex")
+            .dim();
+        assert_eq!(
+            vertices.len(),
+            d + 1,
+            "a {d}-simplex needs exactly {} vertices",
+            d + 1
+        );
+        assert!(vertices.iter().all(|v| v.dim() == d));
+
+        let mut facets = Vec::with_capacity(d + 1);
+        for omit in 0..=d {
+            let facet_pts: Vec<Point> = vertices
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != omit)
+                .map(|(_, p)| *p)
+                .collect();
+            let (normal, offset) = hyperplane_through(&facet_pts)?;
+            // Orient so the omitted vertex satisfies n·x ≤ offset.
+            let slack = vertices[omit].dot(&normal) - offset;
+            let h = if slack <= 0.0 {
+                Halfspace::new(&normal, offset)
+            } else {
+                let flipped: Vec<f64> = normal.iter().map(|c| -c).collect();
+                Halfspace::new(&flipped, -offset)
+            };
+            // Degenerate if the omitted vertex lies on the facet plane.
+            if slack.abs() < 1e-12 * normal.iter().map(|c| c.abs()).sum::<f64>().max(1.0) {
+                return None;
+            }
+            facets.push(h);
+        }
+        Some(Self { vertices, facets })
+    }
+
+    /// The simplex vertices.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// The facet halfspaces (the simplex is their intersection).
+    pub fn facets(&self) -> &[Halfspace] {
+        &self.facets
+    }
+
+    /// The dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.vertices[0].dim()
+    }
+
+    /// Whether `p` lies in the simplex (boundary inclusive).
+    pub fn contains(&self, p: &Point) -> bool {
+        self.facets.iter().all(|h| h.contains(p))
+    }
+
+    /// The simplex as a conjunction of linear constraints (an LC-KW query).
+    pub fn to_polytope(&self) -> ConvexPolytope {
+        ConvexPolytope::new(self.facets.clone())
+    }
+}
+
+/// The hyperplane through `d` points in `R^d`, returned as `(normal, b)`
+/// with the plane `normal · x = b`, or `None` if the points are affinely
+/// dependent.
+///
+/// Solves for a non-trivial null vector of the `(d−1) × d` system
+/// `normal · (pⱼ − p₀) = 0` by Gaussian elimination with partial pivoting.
+pub fn hyperplane_through(points: &[Point]) -> Option<(Vec<f64>, f64)> {
+    let d = points[0].dim();
+    assert_eq!(
+        points.len(),
+        d,
+        "need exactly d points for a hyperplane in R^d"
+    );
+    if d == 1 {
+        // A "hyperplane" in R^1 is the point itself: 1·x = p.
+        return Some((vec![1.0], points[0].get(0)));
+    }
+
+    // Rows: p_j - p_0 for j = 1..d-1 (d-1 rows, d columns).
+    let rows = d - 1;
+    let mut m: Vec<Vec<f64>> = (1..d)
+        .map(|j| {
+            (0..d)
+                .map(|i| points[j].get(i) - points[0].get(i))
+                .collect()
+        })
+        .collect();
+
+    // Forward elimination with partial pivoting; track pivot columns.
+    let mut pivot_cols = Vec::with_capacity(rows);
+    let mut r = 0usize;
+    for col in 0..d {
+        if r == rows {
+            break;
+        }
+        let (best, best_val) = (r..rows)
+            .map(|i| (i, m[i][col].abs()))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        if best_val < 1e-12 {
+            continue; // free column
+        }
+        m.swap(r, best);
+        for i in 0..rows {
+            if i != r {
+                let factor = m[i][col] / m[r][col];
+                #[allow(clippy::needless_range_loop)] // indexes two rows of `m` at once
+                for c2 in col..d {
+                    let pivot_val = m[r][c2];
+                    m[i][c2] -= factor * pivot_val;
+                }
+            }
+        }
+        pivot_cols.push(col);
+        r += 1;
+    }
+    if r < rows {
+        return None; // rank-deficient: points affinely dependent
+    }
+
+    // One free column remains; set its normal coordinate to 1 and back-
+    // substitute the pivot coordinates.
+    let free = (0..d).find(|c| !pivot_cols.contains(c))?;
+    let mut normal = vec![0.0; d];
+    normal[free] = 1.0;
+    for (row, &pc) in pivot_cols.iter().enumerate() {
+        normal[pc] = -m[row][free] / m[row][pc];
+    }
+    let b = points[0].dot(&normal);
+    Some((normal, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_contains() {
+        let t = Simplex::new(vec![
+            Point::new2(0.0, 0.0),
+            Point::new2(4.0, 0.0),
+            Point::new2(0.0, 4.0),
+        ])
+        .expect("non-degenerate");
+        assert!(t.contains(&Point::new2(1.0, 1.0)));
+        assert!(t.contains(&Point::new2(0.0, 0.0))); // vertex
+        assert!(t.contains(&Point::new2(2.0, 2.0))); // edge
+        assert!(!t.contains(&Point::new2(3.0, 3.0)));
+        assert!(!t.contains(&Point::new2(-0.1, 1.0)));
+    }
+
+    #[test]
+    fn tetrahedron_contains() {
+        let t = Simplex::new(vec![
+            Point::new3(0.0, 0.0, 0.0),
+            Point::new3(1.0, 0.0, 0.0),
+            Point::new3(0.0, 1.0, 0.0),
+            Point::new3(0.0, 0.0, 1.0),
+        ])
+        .expect("non-degenerate");
+        assert!(t.contains(&Point::new3(0.2, 0.2, 0.2)));
+        assert!(!t.contains(&Point::new3(0.5, 0.5, 0.5)));
+    }
+
+    #[test]
+    fn degenerate_simplex_rejected() {
+        // Three collinear points in the plane.
+        let t = Simplex::new(vec![
+            Point::new2(0.0, 0.0),
+            Point::new2(1.0, 1.0),
+            Point::new2(2.0, 2.0),
+        ]);
+        assert!(t.is_none());
+    }
+
+    #[test]
+    fn hyperplane_through_two_points_2d() {
+        let (n, b) = hyperplane_through(&[Point::new2(0.0, 1.0), Point::new2(1.0, 2.0)])
+            .expect("independent");
+        // Line y = x + 1 → n·(1,1) must annihilate direction (1,1)... the
+        // normal is perpendicular to (1,1): check both points satisfy.
+        assert!((Point::new2(0.0, 1.0).dot(&n) - b).abs() < 1e-9);
+        assert!((Point::new2(1.0, 2.0).dot(&n) - b).abs() < 1e-9);
+        assert!((Point::new2(0.0, 0.0).dot(&n) - b).abs() > 1e-9);
+    }
+
+    #[test]
+    fn hyperplane_in_1d() {
+        let (n, b) = hyperplane_through(&[Point::new1(3.5)]).unwrap();
+        assert_eq!(n, vec![1.0]);
+        assert_eq!(b, 3.5);
+    }
+
+    #[test]
+    fn simplex_to_polytope_agrees() {
+        let t = Simplex::new(vec![
+            Point::new2(0.0, 0.0),
+            Point::new2(4.0, 0.0),
+            Point::new2(0.0, 4.0),
+        ])
+        .unwrap();
+        let poly = t.to_polytope();
+        for p in [
+            Point::new2(1.0, 1.0),
+            Point::new2(3.0, 3.0),
+            Point::new2(-1.0, 0.0),
+            Point::new2(0.5, 0.5),
+        ] {
+            assert_eq!(t.contains(&p), poly.contains(&p), "disagree at {p:?}");
+        }
+    }
+
+    #[test]
+    fn axis_aligned_hyperplane_3d() {
+        // Plane z = 2 through three points.
+        let (n, b) = hyperplane_through(&[
+            Point::new3(0.0, 0.0, 2.0),
+            Point::new3(1.0, 0.0, 2.0),
+            Point::new3(0.0, 1.0, 2.0),
+        ])
+        .unwrap();
+        let p = Point::new3(5.0, -3.0, 2.0);
+        assert!((p.dot(&n) - b).abs() < 1e-9);
+        assert!((Point::new3(0.0, 0.0, 3.0).dot(&n) - b).abs() > 1e-9);
+    }
+}

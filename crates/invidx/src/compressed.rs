@@ -1,0 +1,312 @@
+//! Delta + varint compressed postings lists.
+//!
+//! Production inverted indexes store postings compressed: sorted ids
+//! are delta-encoded and varint-packed, with a skip table for random
+//! probes. This matters for the paper's cost picture in two ways: the
+//! "keywords only" baseline gets its realistic space footprint (often
+//! well under one word per posting), and the speed comparison against
+//! the framework index is fair to how systems actually deploy it.
+
+use crate::{Document, Keyword, ObjectId};
+use std::collections::HashMap;
+
+/// Ids per skip block (decode at most this many to answer a probe).
+const BLOCK: usize = 64;
+
+/// A compressed, immutable postings list.
+#[derive(Debug, Clone, Default)]
+pub struct CompressedPostings {
+    /// Varint-encoded deltas (first id is a delta from 0).
+    bytes: Vec<u8>,
+    /// One entry per block: `(first id in block, byte offset)`.
+    skips: Vec<(ObjectId, u32)>,
+    len: usize,
+}
+
+impl CompressedPostings {
+    /// Compresses a strictly increasing id list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is not strictly increasing.
+    pub fn from_sorted(ids: &[ObjectId]) -> Self {
+        let mut bytes = Vec::with_capacity(ids.len());
+        let mut skips = Vec::with_capacity(ids.len() / BLOCK + 1);
+        let mut prev = 0u32;
+        for (i, &id) in ids.iter().enumerate() {
+            if i > 0 {
+                assert!(id > prev, "ids must be strictly increasing");
+            }
+            if i % BLOCK == 0 {
+                skips.push((id, bytes.len() as u32));
+                // Block starts encode the absolute id, so blocks are
+                // independently decodable.
+                write_varint(&mut bytes, id);
+            } else {
+                write_varint(&mut bytes, id - prev);
+            }
+            prev = id;
+        }
+        Self {
+            bytes,
+            skips,
+            len: ids.len(),
+        }
+    }
+
+    /// Number of postings.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Compressed size in bytes (skip table included).
+    pub fn space_bytes(&self) -> usize {
+        self.bytes.len() + self.skips.len() * 8 + 16
+    }
+
+    /// Decodes the full list.
+    pub fn decode(&self) -> Vec<ObjectId> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut pos = 0usize;
+        let mut prev = 0u32;
+        for i in 0..self.len {
+            let v = read_varint(&self.bytes, &mut pos);
+            prev = if i % BLOCK == 0 { v } else { prev + v };
+            out.push(prev);
+        }
+        out
+    }
+
+    /// Whether `id` is present: binary search the skip table, then
+    /// decode at most one block.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        // Last block whose first id is ≤ id.
+        let block = match self.skips.partition_point(|&(first, _)| first <= id) {
+            0 => return false,
+            b => b - 1,
+        };
+        let mut pos = self.skips[block].1 as usize;
+        let in_block = (self.len - block * BLOCK).min(BLOCK);
+        let mut prev = 0u32;
+        for i in 0..in_block {
+            let v = read_varint(&self.bytes, &mut pos);
+            prev = if i == 0 { v } else { prev + v };
+            if prev == id {
+                return true;
+            }
+            if prev > id {
+                return false;
+            }
+        }
+        false
+    }
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> u32 {
+    let mut v = 0u32;
+    let mut shift = 0;
+    loop {
+        let b = bytes[*pos];
+        *pos += 1;
+        v |= u32::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+/// A compressed inverted index: the "keywords only" baseline at its
+/// production space footprint.
+///
+/// # Example
+///
+/// ```
+/// use skq_invidx::{CompressedInvertedIndex, Document};
+///
+/// let docs = vec![
+///     Document::new(vec![0, 1]),
+///     Document::new(vec![1, 2]),
+///     Document::new(vec![0, 1, 2]),
+/// ];
+/// let index = CompressedInvertedIndex::build(&docs);
+/// assert_eq!(index.intersect(&[0, 1]), vec![0, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompressedInvertedIndex {
+    postings: HashMap<Keyword, CompressedPostings>,
+    num_objects: usize,
+    input_size: usize,
+}
+
+impl CompressedInvertedIndex {
+    /// Builds the index from per-object documents.
+    pub fn build(docs: &[Document]) -> Self {
+        let mut raw: HashMap<Keyword, Vec<ObjectId>> = HashMap::new();
+        let mut input_size = 0usize;
+        for (i, doc) in docs.iter().enumerate() {
+            input_size += doc.len();
+            for &w in doc.keywords() {
+                raw.entry(w).or_default().push(i as ObjectId);
+            }
+        }
+        let postings = raw
+            .into_iter()
+            .map(|(w, ids)| (w, CompressedPostings::from_sorted(&ids)))
+            .collect();
+        Self {
+            postings,
+            num_objects: docs.len(),
+            input_size,
+        }
+    }
+
+    /// Total input size `N`.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Compressed index size in bytes.
+    pub fn space_bytes(&self) -> usize {
+        self.postings
+            .values()
+            .map(CompressedPostings::space_bytes)
+            .sum()
+    }
+
+    /// Document frequency of `w`.
+    pub fn len_of(&self, w: Keyword) -> usize {
+        self.postings.get(&w).map_or(0, CompressedPostings::len)
+    }
+
+    /// `⋂ᵢ S_{wᵢ}`: decode the shortest list, probe the rest through
+    /// their skip tables.
+    pub fn intersect(&self, keywords: &[Keyword]) -> Vec<ObjectId> {
+        if keywords.is_empty() {
+            return (0..self.num_objects as ObjectId).collect();
+        }
+        let mut lists: Vec<&CompressedPostings> = Vec::with_capacity(keywords.len());
+        for &w in keywords {
+            match self.postings.get(&w) {
+                Some(p) => lists.push(p),
+                None => return Vec::new(),
+            }
+        }
+        lists.sort_by_key(|p| p.len());
+        let (seed, rest) = lists.split_first().expect("non-empty");
+        seed.decode()
+            .into_iter()
+            .filter(|&id| rest.iter().all(|p| p.contains(id)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InvertedIndex;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn roundtrip_small() {
+        let ids = vec![0, 1, 5, 100, 101, 4000, 1_000_000];
+        let p = CompressedPostings::from_sorted(&ids);
+        assert_eq!(p.decode(), ids);
+        for &id in &ids {
+            assert!(p.contains(id), "{id}");
+        }
+        for id in [2, 99, 102, 999_999, 2_000_000] {
+            assert!(!p.contains(id), "{id}");
+        }
+    }
+
+    #[test]
+    fn empty_list() {
+        let p = CompressedPostings::from_sorted(&[]);
+        assert!(p.is_empty());
+        assert!(p.decode().is_empty());
+        assert!(!p.contains(0));
+    }
+
+    #[test]
+    fn multi_block_lists() {
+        let ids: Vec<u32> = (0..1000).map(|i| i * 3 + 7).collect();
+        let p = CompressedPostings::from_sorted(&ids);
+        assert_eq!(p.decode(), ids);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let probe = rng.gen_range(0..3200);
+            assert_eq!(
+                p.contains(probe),
+                ids.binary_search(&probe).is_ok(),
+                "{probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn compression_actually_compresses() {
+        // Dense ids → ~1 byte per posting, far below 4 (u32) or 8.
+        let ids: Vec<u32> = (0..10_000).collect();
+        let p = CompressedPostings::from_sorted(&ids);
+        assert!(
+            p.space_bytes() < 10_000 * 2,
+            "{} bytes for 10k dense postings",
+            p.space_bytes()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn duplicates_rejected() {
+        let _ = CompressedPostings::from_sorted(&[1, 1]);
+    }
+
+    #[test]
+    fn index_matches_uncompressed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let docs: Vec<Document> = (0..800)
+            .map(|_| {
+                Document::new(
+                    (0..rng.gen_range(1..6))
+                        .map(|_| rng.gen_range(0..15))
+                        .collect(),
+                )
+            })
+            .collect();
+        let plain = InvertedIndex::build(&docs);
+        let compressed = CompressedInvertedIndex::build(&docs);
+        assert_eq!(plain.input_size(), compressed.input_size());
+        for _ in 0..200 {
+            let k = rng.gen_range(1..4);
+            let kws: Vec<Keyword> = (0..k).map(|_| rng.gen_range(0..17)).collect();
+            assert_eq!(
+                plain.intersect(&kws),
+                compressed.intersect(&kws),
+                "keywords {kws:?}"
+            );
+        }
+        // And it is actually smaller than one-word-per-posting.
+        assert!(compressed.space_bytes() < plain.input_size() * 4);
+    }
+}

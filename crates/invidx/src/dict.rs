@@ -1,0 +1,92 @@
+//! String ↔ keyword-id dictionary.
+//!
+//! The indexes operate on integer keywords (paper §1.1 formulates
+//! documents as sets of integers). Applications with textual tags use a
+//! [`Dictionary`] to intern strings into dense ids.
+
+use std::collections::HashMap;
+
+use crate::Keyword;
+
+/// An interning dictionary assigning dense [`Keyword`] ids to strings.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    by_name: HashMap<String, Keyword>,
+    by_id: Vec<String>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id of `name`, interning it if new.
+    pub fn intern(&mut self, name: &str) -> Keyword {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.by_id.len() as Keyword;
+        self.by_name.insert(name.to_owned(), id);
+        self.by_id.push(name.to_owned());
+        id
+    }
+
+    /// Interns several names at once.
+    pub fn intern_all(&mut self, names: &[&str]) -> Vec<Keyword> {
+        names.iter().map(|n| self.intern(n)).collect()
+    }
+
+    /// The id of `name` if already interned.
+    pub fn lookup(&self, name: &str) -> Option<Keyword> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of keyword `id`, if assigned.
+    pub fn name(&self, id: Keyword) -> Option<&str> {
+        self.by_id.get(id as usize).map(String::as_str)
+    }
+
+    /// The number of distinct keywords interned (`W` in the paper).
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether no keyword has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("pool");
+        let b = d.intern("pet-friendly");
+        assert_ne!(a, b);
+        assert_eq!(d.intern("pool"), a);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut d = Dictionary::new();
+        let id = d.intern("free-parking");
+        assert_eq!(d.lookup("free-parking"), Some(id));
+        assert_eq!(d.name(id), Some("free-parking"));
+        assert_eq!(d.lookup("sauna"), None);
+        assert_eq!(d.name(99), None);
+    }
+
+    #[test]
+    fn intern_all_preserves_order() {
+        let mut d = Dictionary::new();
+        let ids = d.intern_all(&["a", "b", "a", "c"]);
+        assert_eq!(ids[0], ids[2]);
+        assert_eq!(d.len(), 3);
+    }
+}

@@ -1,0 +1,89 @@
+//! Documents: the keyword set attached to each object.
+//!
+//! In the paper, every object `e ∈ D` carries a non-empty document
+//! `e.Doc`, a set of integers; the input size is `N = Σ_e |e.Doc|`.
+
+use crate::Keyword;
+
+/// A non-empty set of keywords, stored sorted and deduplicated so that
+/// membership tests are `O(log |Doc|)` and set semantics are canonical.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Document {
+    keywords: Vec<Keyword>,
+}
+
+impl Document {
+    /// Creates a document from keywords (duplicates removed, order
+    /// irrelevant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keywords` is empty — the paper requires non-empty
+    /// documents.
+    pub fn new(mut keywords: Vec<Keyword>) -> Self {
+        assert!(!keywords.is_empty(), "documents must be non-empty");
+        keywords.sort_unstable();
+        keywords.dedup();
+        Self { keywords }
+    }
+
+    /// The number of distinct keywords `|Doc|` (this object's
+    /// contribution to the input size `N`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.keywords.len()
+    }
+
+    /// Never true: documents are non-empty by construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.keywords.is_empty()
+    }
+
+    /// The keywords in ascending order.
+    #[inline]
+    pub fn keywords(&self) -> &[Keyword] {
+        &self.keywords
+    }
+
+    /// Whether the document contains keyword `w`.
+    #[inline]
+    pub fn contains(&self, w: Keyword) -> bool {
+        self.keywords.binary_search(&w).is_ok()
+    }
+
+    /// Whether the document contains *all* the given keywords — the
+    /// membership test the query algorithms run per candidate object
+    /// (`O(k log |Doc|)`, a constant under the paper's model).
+    pub fn contains_all(&self, ws: &[Keyword]) -> bool {
+        ws.iter().all(|&w| self.contains(w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_sort() {
+        let d = Document::new(vec![5, 1, 5, 3, 1]);
+        assert_eq!(d.keywords(), &[1, 3, 5]);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn membership() {
+        let d = Document::new(vec![2, 4, 6]);
+        assert!(d.contains(4));
+        assert!(!d.contains(5));
+        assert!(d.contains_all(&[2, 6]));
+        assert!(!d.contains_all(&[2, 5]));
+        assert!(d.contains_all(&[])); // vacuous
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_document_rejected() {
+        let _ = Document::new(vec![]);
+    }
+}

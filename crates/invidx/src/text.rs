@@ -1,0 +1,234 @@
+//! Text processing: from free-form strings to keyword documents.
+//!
+//! The paper formulates documents as sets of integers; real systems
+//! arrive at those sets by tokenizing text. [`Analyzer`] implements the
+//! standard pipeline — lowercase, alphanumeric tokenization, stopword
+//! removal, length filtering, light suffix normalization — and interns
+//! tokens through a [`crate::Dictionary`], so its output
+//! plugs directly into [`crate::Document`] and the indexes.
+
+use crate::{Dictionary, Document, Keyword};
+
+/// Default English stopwords (a deliberately small list: aggressive
+/// stopping hurts recall more than it saves space at these scales).
+const DEFAULT_STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "have", "in",
+    "is", "it", "its", "of", "on", "or", "that", "the", "their", "they", "this", "to", "was",
+    "were", "will", "with",
+];
+
+/// A configurable text-to-keywords analyzer.
+///
+/// # Example
+///
+/// ```
+/// use skq_invidx::Analyzer;
+///
+/// let mut analyzer = Analyzer::new();
+/// let doc = analyzer.analyze("The hotel has two rooftop pools").unwrap();
+/// // "pools" normalizes to "pool"; stopwords are dropped.
+/// let pool = analyzer.dictionary().lookup("pool").unwrap();
+/// assert!(doc.contains(pool));
+/// ```
+#[derive(Debug)]
+pub struct Analyzer {
+    dict: Dictionary,
+    stopwords: Vec<String>,
+    min_token_len: usize,
+    normalize_suffixes: bool,
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Analyzer {
+    /// An analyzer with the default stopword list, minimum token length
+    /// 2, and suffix normalization on.
+    pub fn new() -> Self {
+        Self {
+            dict: Dictionary::new(),
+            stopwords: DEFAULT_STOPWORDS.iter().map(|s| s.to_string()).collect(),
+            min_token_len: 2,
+            normalize_suffixes: true,
+        }
+    }
+
+    /// Replaces the stopword list.
+    #[must_use]
+    pub fn with_stopwords(mut self, words: &[&str]) -> Self {
+        self.stopwords = words.iter().map(|s| s.to_lowercase()).collect();
+        self
+    }
+
+    /// Sets the minimum token length (shorter tokens are dropped).
+    #[must_use]
+    pub fn with_min_token_len(mut self, len: usize) -> Self {
+        self.min_token_len = len;
+        self
+    }
+
+    /// Enables/disables light plural/verb suffix normalization.
+    #[must_use]
+    pub fn with_suffix_normalization(mut self, on: bool) -> Self {
+        self.normalize_suffixes = on;
+        self
+    }
+
+    /// The dictionary accumulated so far (token ↔ keyword id).
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Tokenizes `text` into normalized terms (no interning).
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        text.split(|c: char| !c.is_alphanumeric())
+            .filter(|t| !t.is_empty())
+            .map(str::to_lowercase)
+            .map(|t| {
+                if self.normalize_suffixes {
+                    normalize_suffix(&t)
+                } else {
+                    t
+                }
+            })
+            .filter(|t| t.chars().count() >= self.min_token_len)
+            .filter(|t| !self.stopwords.contains(t))
+            .collect()
+    }
+
+    /// Analyzes `text` into a keyword set, interning new tokens.
+    ///
+    /// Returns `None` if no token survives the pipeline (the indexes
+    /// require non-empty documents).
+    pub fn analyze(&mut self, text: &str) -> Option<Document> {
+        let kws: Vec<Keyword> = self
+            .tokenize(text)
+            .iter()
+            .map(|t| self.dict.intern(t))
+            .collect();
+        if kws.is_empty() {
+            None
+        } else {
+            Some(Document::new(kws))
+        }
+    }
+
+    /// Maps query terms to keyword ids; terms never seen in any
+    /// analyzed document yield `None` entries (such a query can be
+    /// answered as empty without touching the index).
+    pub fn query_terms(&self, terms: &[&str]) -> Vec<Option<Keyword>> {
+        terms
+            .iter()
+            .flat_map(|t| {
+                let toks = self.tokenize(t);
+                if toks.is_empty() {
+                    vec![None]
+                } else {
+                    toks.iter().map(|t| self.dict.lookup(t)).collect()
+                }
+            })
+            .collect()
+    }
+}
+
+/// Very light suffix normalization: `-ies → -y`, `-sses → -ss`,
+/// trailing `-s` (but not `-ss`), `-ing`/`-ed` when a reasonable stem
+/// remains. Not a stemmer — just enough to unify trivial inflection.
+fn normalize_suffix(t: &str) -> String {
+    let n = t.len();
+    if let Some(stem) = t.strip_suffix("ies") {
+        if n > 4 {
+            return format!("{stem}y");
+        }
+    }
+    if t.ends_with("sses") {
+        return t[..n - 2].to_string();
+    }
+    if t.ends_with('s') && !t.ends_with("ss") && n > 3 {
+        return t[..n - 1].to_string();
+    }
+    if let Some(stem) = t.strip_suffix("ing") {
+        if stem.len() >= 4 {
+            return stem.to_string();
+        }
+    }
+    if let Some(stem) = t.strip_suffix("ed") {
+        if stem.len() >= 4 {
+            return stem.to_string();
+        }
+    }
+    t.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_basics() {
+        let a = Analyzer::new();
+        assert_eq!(
+            a.tokenize("The hotel has a rooftop pool, free-parking & WiFi!"),
+            vec!["hotel", "rooftop", "pool", "free", "park", "wifi"]
+        );
+    }
+
+    #[test]
+    fn stopwords_and_min_length() {
+        let a = Analyzer::new().with_min_token_len(4);
+        let toks = a.tokenize("it is a dog in the rain");
+        assert_eq!(toks, vec!["rain"]);
+    }
+
+    #[test]
+    fn suffix_normalization() {
+        let a = Analyzer::new();
+        assert_eq!(a.tokenize("cities"), vec!["city"]);
+        assert_eq!(a.tokenize("hotels"), vec!["hotel"]);
+        assert_eq!(a.tokenize("glasses"), vec!["glass"]);
+        assert_eq!(a.tokenize("parking"), vec!["park"]);
+        assert_eq!(a.tokenize("walking"), vec!["walk"]);
+        assert_eq!(a.tokenize("walked"), vec!["walk"]);
+        assert_eq!(a.tokenize("class"), vec!["class"]); // -ss preserved
+    }
+
+    #[test]
+    fn normalization_can_be_disabled() {
+        let a = Analyzer::new().with_suffix_normalization(false);
+        assert_eq!(a.tokenize("hotels pools"), vec!["hotels", "pools"]);
+        let b = Analyzer::new().with_stopwords(&["HOTELS"]);
+        // Custom stopwords are lowercased; "hotels" normalizes to
+        // "hotel" first, so the stopword no longer matches — document
+        // that ordering explicitly.
+        assert_eq!(b.tokenize("hotels"), vec!["hotel"]);
+    }
+
+    #[test]
+    fn analyze_interns_consistently() {
+        let mut a = Analyzer::new();
+        let d1 = a.analyze("pools and gardens").unwrap();
+        let d2 = a.analyze("a garden with a pool").unwrap();
+        assert_eq!(d1.keywords(), d2.keywords());
+    }
+
+    #[test]
+    fn empty_documents_rejected() {
+        let mut a = Analyzer::new();
+        assert!(a.analyze("the of and").is_none());
+        assert!(a.analyze("!!! ---").is_none());
+    }
+
+    #[test]
+    fn query_terms_roundtrip() {
+        let mut a = Analyzer::new();
+        a.analyze("rooftop pool with garden").unwrap();
+        let q = a.query_terms(&["Pools", "garden", "sauna"]);
+        assert!(q[0].is_some());
+        assert!(q[1].is_some());
+        assert!(q[2].is_none());
+        assert_eq!(q[0], a.dictionary().lookup("pool"));
+    }
+}

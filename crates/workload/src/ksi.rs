@@ -1,0 +1,125 @@
+//! Planted `k`-set-intersection instances.
+//!
+//! The tightness discussion (§1.2, Lemma 8) is about how query time
+//! scales with the intersection size `OUT`; these instances let the
+//! harness dial `OUT` exactly: `k` designated sets share exactly
+//! `planted` elements, and the remaining mass is spread so that any
+//! proper subset of the designated sets has a much larger intersection
+//! (making the instance hard for merge-based strategies).
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use skq_invidx::{Document, Keyword};
+
+/// A planted k-SI instance as per-element membership documents.
+#[derive(Debug)]
+pub struct PlantedKsi {
+    /// `docs[e]` lists the sets containing element `e`.
+    pub docs: Vec<Document>,
+    /// The ids of the `k` designated query sets.
+    pub query: Vec<Keyword>,
+    /// The exact intersection of the designated sets.
+    pub expected: Vec<u32>,
+}
+
+/// Builds an instance with `num_sets` sets over `n` elements, where the
+/// first `k` sets intersect in exactly `planted` elements. Each element
+/// belongs to between 1 and `max_membership` sets.
+///
+/// # Panics
+///
+/// Panics if `planted > n`, `k > num_sets`, or sizes are zero.
+pub fn planted_instance(
+    n: usize,
+    num_sets: usize,
+    k: usize,
+    planted: usize,
+    max_membership: usize,
+    seed: u64,
+) -> PlantedKsi {
+    assert!(n > 0 && num_sets >= k && k >= 2 && planted <= n);
+    assert!(max_membership >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let query: Vec<Keyword> = (0..k as Keyword).collect();
+
+    let mut docs: Vec<Vec<Keyword>> = Vec::with_capacity(n);
+    let mut expected = Vec::with_capacity(planted);
+    for e in 0..n {
+        if e < planted {
+            // Planted elements: in all k designated sets.
+            let mut d: Vec<Keyword> = query.clone();
+            for _ in 0..rng.gen_range(0..max_membership.saturating_sub(k) + 1) {
+                d.push(rng.gen_range(0..num_sets) as Keyword);
+            }
+            expected.push(e as u32);
+            docs.push(d);
+        } else {
+            // Distractors: member of several sets but *never* all k
+            // designated ones — drop one designated set at random.
+            let skip = rng.gen_range(0..k) as Keyword;
+            let mut d = Vec::new();
+            for _ in 0..rng.gen_range(1..=max_membership) {
+                let s = rng.gen_range(0..num_sets) as Keyword;
+                if s != skip {
+                    d.push(s);
+                }
+            }
+            if d.is_empty() {
+                // Keep documents non-empty with a non-designated set if
+                // possible, else any set other than `skip`.
+                let fallback = if num_sets > k {
+                    rng.gen_range(k..num_sets) as Keyword
+                } else {
+                    (skip + 1) % k as Keyword
+                };
+                d.push(fallback);
+            }
+            docs.push(d);
+        }
+    }
+    PlantedKsi {
+        docs: docs.into_iter().map(Document::new).collect(),
+        query,
+        expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skq_invidx::InvertedIndex;
+
+    #[test]
+    fn intersection_is_exactly_planted() {
+        for planted in [0, 1, 17, 100] {
+            let inst = planted_instance(2000, 10, 3, planted, 6, 42);
+            let inv = InvertedIndex::build(&inst.docs);
+            let got = inv.intersect(&inst.query);
+            assert_eq!(got, inst.expected, "planted={planted}");
+            assert_eq!(got.len(), planted);
+        }
+    }
+
+    #[test]
+    fn pairwise_intersections_are_large() {
+        // The instance must be hard: dropping one designated set leaves
+        // a much bigger intersection than the planted k-way one.
+        let inst = planted_instance(5000, 6, 3, 10, 5, 7);
+        let inv = InvertedIndex::build(&inst.docs);
+        let pair = inv.intersect(&inst.query[..2]);
+        assert!(
+            pair.len() > 20 * inst.expected.len(),
+            "pairwise {} vs planted {}",
+            pair.len(),
+            inst.expected.len()
+        );
+    }
+
+    #[test]
+    fn documents_nonempty_and_within_bounds() {
+        let inst = planted_instance(1000, 8, 2, 5, 4, 3);
+        for d in &inst.docs {
+            assert!(!d.is_empty());
+            assert!(d.len() <= 8);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Query generation with controlled selectivity.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use skq_core::dataset::Dataset;
+use skq_geom::{Ball, ConvexPolytope, Halfspace, Point, Rect};
+use skq_invidx::Keyword;
+
+/// A deterministic query generator bound to a dataset.
+pub struct QueryGen {
+    rng: StdRng,
+    extent: Vec<(f64, f64)>,
+    keyword_freq: Vec<(Keyword, usize)>,
+    dim: usize,
+}
+
+impl QueryGen {
+    /// Creates a generator; `seed` fixes the query sequence.
+    pub fn new(dataset: &Dataset, seed: u64) -> Self {
+        let dim = dataset.dim();
+        let extent: Vec<(f64, f64)> = (0..dim)
+            .map(|d| {
+                let lo = dataset
+                    .points()
+                    .iter()
+                    .map(|p| p.get(d))
+                    .fold(f64::INFINITY, f64::min);
+                let hi = dataset
+                    .points()
+                    .iter()
+                    .map(|p| p.get(d))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                (lo, hi)
+            })
+            .collect();
+        let mut counts = std::collections::HashMap::new();
+        for doc in dataset.docs() {
+            for &w in doc.keywords() {
+                *counts.entry(w).or_insert(0usize) += 1;
+            }
+        }
+        let mut keyword_freq: Vec<(Keyword, usize)> = counts.into_iter().collect();
+        keyword_freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            extent,
+            keyword_freq,
+            dim,
+        }
+    }
+
+    /// The number of distinct keywords occurring in the dataset.
+    pub fn distinct_keywords(&self) -> usize {
+        self.keyword_freq.len()
+    }
+
+    /// A rectangle whose side on each dimension is `selectivity^(1/d)`
+    /// of the extent — for uniform data its point-selectivity is about
+    /// `selectivity`.
+    pub fn rect(&mut self, selectivity: f64) -> Rect {
+        assert!((0.0..=1.0).contains(&selectivity));
+        let frac = selectivity.powf(1.0 / self.dim as f64);
+        let mut lo = Vec::with_capacity(self.dim);
+        let mut hi = Vec::with_capacity(self.dim);
+        for d in 0..self.dim {
+            let (elo, ehi) = self.extent[d];
+            let side = (ehi - elo) * frac;
+            let start = self
+                .rng
+                .gen_range(elo..(ehi - side).max(elo + f64::MIN_POSITIVE));
+            lo.push(start);
+            hi.push(start + side);
+        }
+        Rect::new(&lo, &hi)
+    }
+
+    /// A ball with volume-fraction roughly `selectivity` (radius chosen
+    /// as for [`rect`](Self::rect) halved).
+    pub fn ball(&mut self, selectivity: f64) -> Ball {
+        let frac = selectivity.powf(1.0 / self.dim as f64);
+        let center = self.point();
+        let (elo, ehi) = self.extent[0];
+        Ball::new(center, (ehi - elo) * frac / 2.0)
+    }
+
+    /// A uniform point inside the data extent.
+    pub fn point(&mut self) -> Point {
+        let coords: Vec<f64> = (0..self.dim)
+            .map(|d| {
+                let (lo, hi) = self.extent[d];
+                self.rng.gen_range(lo..=hi)
+            })
+            .collect();
+        Point::new(&coords)
+    }
+
+    /// A uniform integer point inside the data extent (for L2NN-KW).
+    pub fn integer_point(&mut self) -> Point {
+        let coords: Vec<f64> = (0..self.dim)
+            .map(|d| {
+                let (lo, hi) = self.extent[d];
+                self.rng.gen_range(lo..=hi).round()
+            })
+            .collect();
+        Point::new(&coords)
+    }
+
+    /// `s` random halfspaces through the data extent.
+    pub fn halfspaces(&mut self, s: usize) -> ConvexPolytope {
+        let hs: Vec<Halfspace> = (0..s)
+            .map(|_| {
+                let coeffs: Vec<f64> = (0..self.dim)
+                    .map(|_| self.rng.gen_range(-1.0..1.0))
+                    .collect();
+                // Pass the plane near a random data-extent point so it
+                // actually cuts the data.
+                let p = self.point();
+                let bound = p.dot(&coeffs);
+                Halfspace::new(&coeffs, bound)
+            })
+            .collect();
+        ConvexPolytope::new(hs)
+    }
+
+    /// `k` distinct keywords drawn from a frequency band:
+    /// `band ∈ [0, 1]` picks from the most frequent (`0.0`) to the
+    /// rarest (`1.0`) portion of the vocabulary. Returns `None` if the
+    /// dataset has fewer than `k` distinct keywords.
+    pub fn keywords(&mut self, k: usize, band: f64) -> Option<Vec<Keyword>> {
+        let m = self.keyword_freq.len();
+        if m < k {
+            return None;
+        }
+        // Window of the frequency-ranked vocabulary to draw from.
+        let window = (m / 4).max(k);
+        let start = ((m - window) as f64 * band) as usize;
+        let mut out = Vec::with_capacity(k);
+        let mut guard = 0;
+        while out.len() < k && guard < 1000 {
+            guard += 1;
+            let idx = start + self.rng.gen_range(0..window);
+            let w = self.keyword_freq[idx.min(m - 1)].0;
+            if !out.contains(&w) {
+                out.push(w);
+            }
+        }
+        if out.len() == k {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// The most frequent `k` distinct keywords (maximizes candidate
+    /// sizes, i.e. stresses the "large keyword" path).
+    pub fn top_keywords(&self, k: usize) -> Option<Vec<Keyword>> {
+        if self.keyword_freq.len() < k {
+            return None;
+        }
+        Some(self.keyword_freq[..k].iter().map(|&(w, _)| w).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spatial::SpatialKeywordConfig;
+
+    fn dataset() -> Dataset {
+        SpatialKeywordConfig {
+            num_objects: 2000,
+            vocab: 100,
+            extent: 1000.0,
+            ..Default::default()
+        }
+        .generate(1)
+    }
+
+    #[test]
+    fn rect_selectivity_is_roughly_right() {
+        let d = dataset();
+        let mut gen = QueryGen::new(&d, 2);
+        let mut total = 0usize;
+        let trials = 50;
+        for _ in 0..trials {
+            let q = gen.rect(0.1);
+            total += (0..d.len()).filter(|&i| q.contains(d.point(i))).count();
+        }
+        let avg = total as f64 / trials as f64 / d.len() as f64;
+        assert!((0.02..0.3).contains(&avg), "selectivity {avg}");
+    }
+
+    #[test]
+    fn keywords_distinct_and_banded() {
+        let d = dataset();
+        let mut gen = QueryGen::new(&d, 3);
+        let frequent = gen.keywords(3, 0.0).unwrap();
+        let rare = gen.keywords(3, 1.0).unwrap();
+        assert_eq!(frequent.len(), 3);
+        for w in &frequent {
+            assert_eq!(frequent.iter().filter(|x| *x == w).count(), 1);
+        }
+        // Frequent band keywords occur more often on average.
+        let count = |ws: &[Keyword]| -> usize {
+            ws.iter()
+                .map(|&w| (0..d.len()).filter(|&i| d.doc(i).contains(w)).count())
+                .sum()
+        };
+        assert!(count(&frequent) > count(&rare));
+    }
+
+    #[test]
+    fn top_keywords_are_most_frequent() {
+        let d = dataset();
+        let gen = QueryGen::new(&d, 4);
+        let top = gen.top_keywords(2).unwrap();
+        let count = |w: Keyword| (0..d.len()).filter(|&i| d.doc(i).contains(w)).count();
+        let c0 = count(top[0]);
+        for w in 0..100u32 {
+            assert!(count(w) <= c0);
+        }
+    }
+
+    #[test]
+    fn balls_and_halfspaces_cut_the_data() {
+        let d = dataset();
+        let mut gen = QueryGen::new(&d, 5);
+        // Balls with moderate selectivity select some but not all points.
+        let mut any_mid = false;
+        for _ in 0..20 {
+            let b = gen.ball(0.1);
+            let inside = (0..d.len()).filter(|&i| b.contains(d.point(i))).count();
+            if inside > 0 && inside < d.len() {
+                any_mid = true;
+            }
+        }
+        assert!(any_mid, "every ball was degenerate");
+        // Halfspaces pass through the extent: neither empty nor full.
+        let mut any_cut = false;
+        for _ in 0..20 {
+            let q = gen.halfspaces(1);
+            let inside = (0..d.len()).filter(|&i| q.contains(d.point(i))).count();
+            if inside > d.len() / 20 && inside < d.len() * 19 / 20 {
+                any_cut = true;
+            }
+        }
+        assert!(any_cut, "every halfspace missed the data");
+    }
+
+    #[test]
+    fn deterministic_sequences() {
+        let d = dataset();
+        let mut a = QueryGen::new(&d, 9);
+        let mut b = QueryGen::new(&d, 9);
+        for _ in 0..5 {
+            assert_eq!(a.rect(0.05), b.rect(0.05));
+            assert_eq!(a.point(), b.point());
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Preset workload scenarios.
+//!
+//! The spatial-keyword literature the paper addresses evaluates on a
+//! handful of recurring workload shapes; these presets capture them as
+//! one-call constructors so examples, tests, and user experiments don't
+//! re-derive generator configurations.
+
+use skq_core::dataset::Dataset;
+
+use crate::spatial::{KeywordModel, SpatialKeywordConfig, SpatialModel};
+
+/// A city of points of interest: clustered geometry (neighbourhoods),
+/// Zipf-distributed tags with spatial correlation ("beach" tags cluster
+/// near the beach). The canonical geo-textual workload.
+pub fn city(num_objects: usize, seed: u64) -> Dataset {
+    SpatialKeywordConfig {
+        num_objects,
+        dim: 2,
+        vocab: (num_objects / 100).clamp(50, 5_000),
+        doc_len: (3, 8),
+        extent: 100_000.0,
+        integer_coords: true,
+        spatial: SpatialModel::Clustered {
+            count: (num_objects / 4_000).max(3),
+            spread: 0.04,
+        },
+        keywords: KeywordModel::ZipfCorrelated(0.9),
+    }
+    .generate(seed)
+}
+
+/// A web-document collection projected onto two structured attributes
+/// (e.g. publication time × length): uniform geometry, heavy Zipf
+/// vocabulary, longer documents.
+pub fn web_docs(num_objects: usize, seed: u64) -> Dataset {
+    SpatialKeywordConfig {
+        num_objects,
+        dim: 2,
+        vocab: (num_objects / 10).clamp(200, 50_000),
+        doc_len: (5, 12),
+        extent: 1_000_000.0,
+        integer_coords: false,
+        spatial: SpatialModel::Uniform,
+        keywords: KeywordModel::Zipf(1.1),
+    }
+    .generate(seed)
+}
+
+/// A sensor network: 3D positions (x, y, elevation), small uniform
+/// vocabulary of status tags, short documents — the regime where the
+/// dimension-reduction tree (Theorem 2) is exercised.
+pub fn sensor_net(num_objects: usize, seed: u64) -> Dataset {
+    SpatialKeywordConfig {
+        num_objects,
+        dim: 3,
+        vocab: 64,
+        doc_len: (2, 5),
+        extent: 10_000.0,
+        integer_coords: true,
+        spatial: SpatialModel::Uniform,
+        keywords: KeywordModel::Uniform,
+    }
+    .generate(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn city_shape() {
+        let d = city(5_000, 1);
+        assert_eq!(d.len(), 5_000);
+        assert_eq!(d.dim(), 2);
+        // Integer coordinates and clustered spread.
+        assert!(d.point(0).coords().iter().all(|c| c.fract() == 0.0));
+        assert!(d.input_size() >= 15_000);
+    }
+
+    #[test]
+    fn web_docs_shape() {
+        let d = web_docs(2_000, 2);
+        assert_eq!(d.dim(), 2);
+        // Long documents on average.
+        assert!(d.input_size() as f64 / d.len() as f64 >= 5.0);
+    }
+
+    #[test]
+    fn sensor_net_shape() {
+        let d = sensor_net(2_000, 3);
+        assert_eq!(d.dim(), 3);
+        assert!(d.num_keywords() <= 64);
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let a = city(500, 9);
+        let b = city(500, 9);
+        for i in 0..a.len() {
+            assert_eq!(a.point(i), b.point(i));
+            assert_eq!(a.doc(i), b.doc(i));
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Spatial-keyword dataset generation.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use skq_core::dataset::Dataset;
+use skq_geom::Point;
+use skq_invidx::Keyword;
+
+use crate::zipf::Zipf;
+
+/// How points are placed in `[0, extent]^d`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SpatialModel {
+    /// Independent uniform coordinates.
+    Uniform,
+    /// Gaussian clusters around `count` random centers with the given
+    /// relative standard deviation (fraction of the extent).
+    Clustered {
+        /// Number of cluster centers.
+        count: usize,
+        /// Standard deviation as a fraction of the extent.
+        spread: f64,
+    },
+}
+
+/// How documents are drawn.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KeywordModel {
+    /// Keywords uniform over the vocabulary.
+    Uniform,
+    /// Zipf-distributed keyword frequencies with the given exponent.
+    Zipf(f64),
+    /// Zipf frequencies plus spatial correlation: each keyword has a
+    /// "home region" and is boosted for points inside it, mimicking
+    /// geo-tags ("beach" clusters on the coast).
+    ZipfCorrelated(f64),
+}
+
+/// Configuration for a synthetic spatial-keyword dataset.
+#[derive(Clone, Debug)]
+pub struct SpatialKeywordConfig {
+    /// Number of objects `|D|`.
+    pub num_objects: usize,
+    /// Dimensionality `d`.
+    pub dim: usize,
+    /// Vocabulary size `W`.
+    pub vocab: usize,
+    /// Document length range (inclusive); `N ≈ num_objects · avg len`.
+    pub doc_len: (usize, usize),
+    /// Coordinate extent: points live in `[0, extent]^d`.
+    pub extent: f64,
+    /// Round coordinates to integers (required by L2NN-KW).
+    pub integer_coords: bool,
+    /// Point placement.
+    pub spatial: SpatialModel,
+    /// Document distribution.
+    pub keywords: KeywordModel,
+}
+
+impl Default for SpatialKeywordConfig {
+    fn default() -> Self {
+        Self {
+            num_objects: 10_000,
+            dim: 2,
+            vocab: 1_000,
+            doc_len: (3, 8),
+            extent: 1_000_000.0,
+            integer_coords: false,
+            spatial: SpatialModel::Uniform,
+            keywords: KeywordModel::Zipf(1.0),
+        }
+    }
+}
+
+impl SpatialKeywordConfig {
+    /// Generates the dataset deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Dataset {
+        assert!(self.num_objects > 0 && self.dim >= 1 && self.vocab >= 1);
+        assert!(self.doc_len.0 >= 1 && self.doc_len.0 <= self.doc_len.1);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Cluster centers (if clustered).
+        let centers: Vec<Vec<f64>> = match self.spatial {
+            SpatialModel::Uniform => Vec::new(),
+            SpatialModel::Clustered { count, .. } => (0..count.max(1))
+                .map(|_| {
+                    (0..self.dim)
+                        .map(|_| rng.gen_range(0.0..self.extent))
+                        .collect()
+                })
+                .collect(),
+        };
+
+        // Keyword frequency model and (for the correlated model) each
+        // keyword's home region center and radius.
+        let zipf = match self.keywords {
+            KeywordModel::Uniform => Zipf::new(self.vocab, 0.0),
+            KeywordModel::Zipf(s) | KeywordModel::ZipfCorrelated(s) => Zipf::new(self.vocab, s),
+        };
+        let homes: Vec<(Vec<f64>, f64)> = match self.keywords {
+            KeywordModel::ZipfCorrelated(_) => (0..self.vocab)
+                .map(|_| {
+                    let c: Vec<f64> = (0..self.dim)
+                        .map(|_| rng.gen_range(0.0..self.extent))
+                        .collect();
+                    let r = rng.gen_range(0.1..0.5) * self.extent;
+                    (c, r)
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+
+        let parts: Vec<(Point, Vec<Keyword>)> = (0..self.num_objects)
+            .map(|_| {
+                let coords: Vec<f64> = match self.spatial {
+                    SpatialModel::Uniform => (0..self.dim)
+                        .map(|_| rng.gen_range(0.0..self.extent))
+                        .collect(),
+                    SpatialModel::Clustered { spread, .. } => {
+                        let c = &centers[rng.gen_range(0..centers.len())];
+                        (0..self.dim)
+                            .map(|d| {
+                                let g = gaussian(&mut rng) * spread * self.extent;
+                                (c[d] + g).clamp(0.0, self.extent)
+                            })
+                            .collect()
+                    }
+                };
+                let coords: Vec<f64> = if self.integer_coords {
+                    coords.iter().map(|c| c.round()).collect()
+                } else {
+                    coords
+                };
+                let point = Point::new(&coords);
+
+                let len = rng.gen_range(self.doc_len.0..=self.doc_len.1);
+                let mut doc = Vec::with_capacity(len);
+                let mut guard = 0;
+                while doc.len() < len && guard < len * 50 {
+                    guard += 1;
+                    let w = zipf.sample(&mut rng);
+                    if let KeywordModel::ZipfCorrelated(_) = self.keywords {
+                        // Accept w only with high probability inside its
+                        // home region, low outside.
+                        let (home, radius) = &homes[w as usize];
+                        let dist_sq: f64 = coords
+                            .iter()
+                            .zip(home)
+                            .map(|(a, b)| (a - b) * (a - b))
+                            .sum();
+                        let inside = dist_sq <= radius * radius;
+                        let accept = if inside { 0.95 } else { 0.15 };
+                        if rng.gen_range(0.0..1.0) > accept {
+                            continue;
+                        }
+                    }
+                    if !doc.contains(&w) {
+                        doc.push(w);
+                    }
+                }
+                if doc.is_empty() {
+                    doc.push(zipf.sample(&mut rng)); // documents are non-empty
+                }
+                (point, doc)
+            })
+            .collect();
+        Dataset::from_parts(parts)
+    }
+}
+
+/// A standard-normal sample (Box–Muller).
+fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SpatialKeywordConfig {
+            num_objects: 100,
+            ..Default::default()
+        };
+        let a = cfg.generate(7);
+        let b = cfg.generate(7);
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.point(i), b.point(i));
+            assert_eq!(a.doc(i), b.doc(i));
+        }
+        let c = cfg.generate(8);
+        let differs = (0..a.len()).any(|i| a.point(i) != c.point(i));
+        assert!(differs, "different seeds should differ");
+    }
+
+    #[test]
+    fn respects_sizes() {
+        let cfg = SpatialKeywordConfig {
+            num_objects: 500,
+            dim: 3,
+            vocab: 50,
+            doc_len: (2, 4),
+            ..Default::default()
+        };
+        let d = cfg.generate(1);
+        assert_eq!(d.len(), 500);
+        assert_eq!(d.dim(), 3);
+        assert!(d.input_size() >= 500 && d.input_size() <= 2000);
+        assert!(d.num_keywords() <= 50);
+    }
+
+    #[test]
+    fn integer_coords_rounded() {
+        let cfg = SpatialKeywordConfig {
+            num_objects: 50,
+            integer_coords: true,
+            extent: 1000.0,
+            ..Default::default()
+        };
+        let d = cfg.generate(2);
+        for i in 0..d.len() {
+            for &c in d.point(i).coords() {
+                assert_eq!(c.fract(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_points_concentrate() {
+        let cfg = SpatialKeywordConfig {
+            num_objects: 2000,
+            extent: 1000.0,
+            spatial: SpatialModel::Clustered {
+                count: 3,
+                spread: 0.01,
+            },
+            ..Default::default()
+        };
+        let d = cfg.generate(3);
+        // With 3 tight clusters, pairwise coordinate variance along each
+        // axis is far below the uniform variance (extent²/12).
+        let mean: f64 = (0..d.len()).map(|i| d.point(i).get(0)).sum::<f64>() / d.len() as f64;
+        let var: f64 = (0..d.len())
+            .map(|i| (d.point(i).get(0) - mean).powi(2))
+            .sum::<f64>()
+            / d.len() as f64;
+        // Not a strict bound — just "clearly not uniform".
+        assert!(var < 1000.0f64.powi(2) / 4.0);
+    }
+
+    #[test]
+    fn zipf_documents_are_skewed() {
+        let cfg = SpatialKeywordConfig {
+            num_objects: 3000,
+            vocab: 100,
+            keywords: KeywordModel::Zipf(1.2),
+            ..Default::default()
+        };
+        let d = cfg.generate(4);
+        let mut counts = vec![0usize; 100];
+        for i in 0..d.len() {
+            for &w in d.doc(i).keywords() {
+                counts[w as usize] += 1;
+            }
+        }
+        assert!(counts[0] > counts[50].max(1) * 3);
+    }
+
+    #[test]
+    fn correlated_keywords_cluster_spatially() {
+        let cfg = SpatialKeywordConfig {
+            num_objects: 4000,
+            vocab: 20,
+            extent: 1000.0,
+            keywords: KeywordModel::ZipfCorrelated(0.5),
+            ..Default::default()
+        };
+        let d = cfg.generate(5);
+        // For the most frequent keyword, the variance of the positions of
+        // its holders should be below uniform variance (it concentrates
+        // in its home region).
+        let mut counts = [0usize; 20];
+        for i in 0..d.len() {
+            for &w in d.doc(i).keywords() {
+                counts[w as usize] += 1;
+            }
+        }
+        let top = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(w, _)| w as u32)
+            .unwrap();
+        let holders: Vec<usize> = (0..d.len()).filter(|&i| d.doc(i).contains(top)).collect();
+        assert!(holders.len() > 100);
+        let mean: f64 =
+            holders.iter().map(|&i| d.point(i).get(0)).sum::<f64>() / holders.len() as f64;
+        let var: f64 = holders
+            .iter()
+            .map(|&i| (d.point(i).get(0) - mean).powi(2))
+            .sum::<f64>()
+            / holders.len() as f64;
+        let uniform_var = 1000.0f64.powi(2) / 12.0;
+        assert!(var < uniform_var, "var {var} vs uniform {uniform_var}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Zipf-distributed keyword sampling.
+//!
+//! Real text corpora have heavily skewed keyword frequencies; the
+//! large/small classification at the heart of the paper's framework
+//! reacts directly to that skew (frequent keywords go "large" near the
+//! root, rare ones materialize early), so the experiments exercise both
+//! uniform and Zipfian documents.
+
+use rand::Rng;
+
+/// A sampler over `0..n` with `P(i) ∝ 1/(i+1)^s`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative (unnormalized) weights.
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with exponent `s ≥ 0`
+    /// (`s = 0` is uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative/NaN.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        Self { cumulative }
+    }
+
+    /// The support size `n`.
+    pub fn n(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Draws one value in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> u32 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x: f64 = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= x) as u32
+    }
+
+    /// The probability of value `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let prev = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+        (self.cumulative[i] - prev) / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0);
+        for i in 0..4 {
+            assert!((z.probability(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skewed_prefers_small_ids() {
+        let z = Zipf::new(100, 1.0);
+        assert!(z.probability(0) > 10.0 * z.probability(50));
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[99] * 5);
+    }
+
+    #[test]
+    fn samples_cover_support() {
+        let z = Zipf::new(5, 1.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..5_000 {
+            seen[z.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = Zipf::new(37, 0.8);
+        let sum: f64 = (0..37).map(|i| z.probability(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,301 @@
+//! `skq` — a small command-line front end for the indexes.
+//!
+//! Data files are semicolon-separated: one object per line, coordinate
+//! columns first, then a comma-separated tag list. Example:
+//!
+//! ```text
+//! # price; rating; tags
+//! 120; 8.5; pool,free-parking,pet-friendly
+//! 250; 9.5; pool,pet-friendly
+//! ```
+//!
+//! Usage:
+//!
+//! ```text
+//! skq demo out.csv                # write a sample dataset
+//! skq stats data.csv
+//! skq rect data.csv --lo 100,8 --hi 200,10 --tags pool,pet-friendly
+//! skq ball data.csv --center 150,9 --radius 1.5 --tags pool,pet-friendly
+//! skq nn   data.csv --at 150,9 --t 3 --tags pool,pet-friendly
+//! ```
+
+use std::process::ExitCode;
+
+use structured_keyword_search::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  skq demo <out.csv>
+  skq stats <data.csv>
+  skq rect <data.csv> --lo a,b,… --hi a,b,… --tags t1,t2[,…]
+  skq ball <data.csv> --center a,b,… --radius r --tags t1,t2[,…]
+  skq nn   <data.csv> --at a,b,… --t N --tags t1,t2[,…]";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing command")?.as_str();
+    match cmd {
+        "demo" => {
+            let path = args.get(1).ok_or("demo needs an output path")?;
+            std::fs::write(path, demo_csv()).map_err(|e| e.to_string())?;
+            println!("wrote sample dataset to {path}");
+            Ok(())
+        }
+        "stats" => {
+            let path = args.get(1).ok_or("stats needs a data file")?;
+            let loaded = load(path)?;
+            println!(
+                "{} objects, d = {}, N = {}, {} distinct tags",
+                loaded.dataset.len(),
+                loaded.dataset.dim(),
+                loaded.dataset.input_size(),
+                loaded.dict.len()
+            );
+            Ok(())
+        }
+        "rect" | "ball" | "nn" => {
+            let path = args.get(1).ok_or("missing data file")?;
+            let loaded = load(path)?;
+            let opts = parse_flags(&args[2..])?;
+            let tags = opts.require("tags")?;
+            let tag_ids = resolve_tags(&loaded, tags)?;
+            let k = tag_ids.len();
+            if k < 2 {
+                return Err("need at least 2 distinct tags".into());
+            }
+            let hits = match cmd {
+                "rect" => {
+                    let lo = parse_coords(opts.require("lo")?)?;
+                    let hi = parse_coords(opts.require("hi")?)?;
+                    let q = Rect::new(&lo, &hi);
+                    let index = OrpKwIndex::build(&loaded.dataset, k);
+                    index.query(&q, &tag_ids)
+                }
+                "ball" => {
+                    let center = Point::new(&parse_coords(opts.require("center")?)?);
+                    let radius: f64 = opts.require("radius")?.parse().map_err(|_| "bad radius")?;
+                    let index = SrpKwIndex::build(&loaded.dataset, k);
+                    index.query(&Ball::new(center, radius), &tag_ids)
+                }
+                _ => {
+                    let at = Point::new(&parse_coords(opts.require("at")?)?);
+                    let t: usize = opts.require("t")?.parse().map_err(|_| "bad t")?;
+                    let index = LinfNnIndex::build(&loaded.dataset, k);
+                    index.query(&at, t, &tag_ids)
+                }
+            };
+            let mut hits = hits;
+            hits.sort_unstable();
+            println!("{} matches:", hits.len());
+            for id in hits {
+                let p = loaded.dataset.point(id as usize);
+                let tags: Vec<&str> = loaded
+                    .dataset
+                    .doc(id as usize)
+                    .keywords()
+                    .iter()
+                    .filter_map(|&w| loaded.dict.name(w))
+                    .collect();
+                println!("  #{id}: {:?} {}", p.coords(), tags.join(","));
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+struct Loaded {
+    dataset: Dataset,
+    dict: Dictionary,
+}
+
+fn load(path: &str) -> Result<Loaded, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_csv(&text)
+}
+
+/// Parses the semicolon data format. Lines starting with `#` and blank
+/// lines are skipped.
+fn parse_csv(text: &str) -> Result<Loaded, String> {
+    let mut dict = Dictionary::new();
+    let mut parts: Vec<(Point, Vec<Keyword>)> = Vec::new();
+    let mut dim: Option<usize> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(';').map(str::trim).collect();
+        if cols.len() < 2 {
+            return Err(format!("line {}: need coordinates and tags", lineno + 1));
+        }
+        let (coord_cols, tag_col) = cols.split_at(cols.len() - 1);
+        let coords: Vec<f64> = coord_cols
+            .iter()
+            .map(|c| {
+                c.parse::<f64>()
+                    .map_err(|_| format!("line {}: bad coordinate {c:?}", lineno + 1))
+            })
+            .collect::<Result<_, _>>()?;
+        match dim {
+            None => dim = Some(coords.len()),
+            Some(d) if d != coords.len() => {
+                return Err(format!("line {}: inconsistent dimensions", lineno + 1))
+            }
+            _ => {}
+        }
+        let tags: Vec<Keyword> = tag_col[0]
+            .split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .map(|t| dict.intern(t))
+            .collect();
+        if tags.is_empty() {
+            return Err(format!(
+                "line {}: objects need at least one tag",
+                lineno + 1
+            ));
+        }
+        parts.push((Point::new(&coords), tags));
+    }
+    if parts.is_empty() {
+        return Err("no objects in file".into());
+    }
+    Ok(Loaded {
+        dataset: Dataset::from_parts(parts),
+        dict,
+    })
+}
+
+fn parse_coords(s: &str) -> Result<Vec<f64>, String> {
+    s.split(',')
+        .map(|c| {
+            c.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("bad coordinate {c:?}"))
+        })
+        .collect()
+}
+
+fn resolve_tags(loaded: &Loaded, tags: &str) -> Result<Vec<Keyword>, String> {
+    let mut ids = Vec::new();
+    for t in tags.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        let id = loaded
+            .dict
+            .lookup(t)
+            .ok_or_else(|| format!("tag {t:?} does not occur in the dataset"))?;
+        if !ids.contains(&id) {
+            ids.push(id);
+        }
+    }
+    Ok(ids)
+}
+
+/// Tiny flag parser: `--name value` pairs.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.0
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .ok_or_else(|| format!("missing --{name}"))
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let name = a
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got {a:?}"))?;
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        out.push((name.to_string(), value.clone()));
+    }
+    Ok(Flags(out))
+}
+
+fn demo_csv() -> String {
+    "# price; rating; tags\n\
+     120; 8.5; pool,free-parking,pet-friendly\n\
+     250; 9.5; pool,pet-friendly,spa\n\
+     150; 8.8; pool,free-parking,pet-friendly,gym\n\
+     60;  6.9; free-parking\n\
+     180; 7.5; pool,free-parking,pet-friendly\n\
+     95;  9.1; free-parking,pet-friendly\n\
+     199; 8.0; pool,free-parking,pet-friendly,spa\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_demo_csv() {
+        let loaded = parse_csv(&demo_csv()).unwrap();
+        assert_eq!(loaded.dataset.len(), 7);
+        assert_eq!(loaded.dataset.dim(), 2);
+        assert!(loaded.dict.lookup("pool").is_some());
+        assert!(loaded.dict.lookup("sauna").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_bad_lines() {
+        assert!(parse_csv("just-one-column\n").is_err());
+        assert!(parse_csv("nope; a,b\n").is_err()); // bad coordinate
+        assert!(parse_csv("1.0; 2.0; a\n3.0; b\n").is_err()); // inconsistent dims
+        assert!(parse_csv("1.0; 2.0; \n").is_err()); // empty tags
+        assert!(parse_csv("").is_err()); // empty file
+    }
+
+    #[test]
+    fn last_column_is_always_tags() {
+        // A numeric last column is interpreted as a tag, by design.
+        let loaded = parse_csv("1.0; 2.0\n").unwrap();
+        assert_eq!(loaded.dataset.dim(), 1);
+        assert!(loaded.dict.lookup("2.0").is_some());
+    }
+
+    #[test]
+    fn flags_roundtrip() {
+        let args: Vec<String> = ["--lo", "1,2", "--hi", "3,4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(f.require("lo").unwrap(), "1,2");
+        assert!(f.require("tags").is_err());
+        assert!(parse_flags(&["oops".to_string()]).is_err());
+    }
+
+    #[test]
+    fn coords_parse() {
+        assert_eq!(parse_coords("1, 2.5,3").unwrap(), vec![1.0, 2.5, 3.0]);
+        assert!(parse_coords("1,x").is_err());
+    }
+
+    #[test]
+    fn end_to_end_rect_query() {
+        let loaded = parse_csv(&demo_csv()).unwrap();
+        let tags = resolve_tags(&loaded, "pool,pet-friendly").unwrap();
+        let index = OrpKwIndex::build(&loaded.dataset, tags.len());
+        let q = Rect::new(&[100.0, 8.0], &[200.0, 10.0]);
+        let mut hits = index.query(&q, &tags);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 2, 6]);
+    }
+}
