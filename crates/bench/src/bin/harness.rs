@@ -56,9 +56,13 @@ impl Config {
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let metrics_path = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| args.get(i + 1));
     let which = args
         .iter()
-        .find(|a| !a.starts_with("--"))
+        .find(|a| !a.starts_with("--") && Some(*a) != metrics_path)
         .map(String::as_str)
         .unwrap_or("all");
     let cfg = Config { quick };
@@ -96,6 +100,17 @@ fn main() {
                 .1;
             f(&cfg);
         }
+    }
+
+    // Observability snapshot: everything the instrumented build/query
+    // paths recorded while the experiments ran. `--metrics <path>`
+    // additionally writes the machine-readable Prometheus form.
+    println!("\n\n================ METRICS SNAPSHOT ================");
+    print!("{}", skq_obs::global().report());
+    if let Some(path) = metrics_path {
+        std::fs::write(path, skq_obs::global().render_prometheus())
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("(wrote Prometheus snapshot to {path})");
     }
 }
 

@@ -11,6 +11,8 @@ use skq_geom::Rect;
 use skq_invidx::Keyword;
 
 use crate::orp::OrpKwIndex;
+use crate::stats::QueryStats;
+use crate::telemetry;
 
 /// A single ORP-KW query in a batch.
 #[derive(Clone, Debug)]
@@ -36,41 +38,49 @@ pub fn run_batch(index: &OrpKwIndex, queries: &[BatchQuery], threads: usize) -> 
     if queries.is_empty() {
         return Vec::new();
     }
-    if threads == 1 || queries.len() == 1 {
-        return queries
+    let span = skq_obs::Span::enter("orp.batch");
+    skq_obs::global()
+        .counter("skq_batch_queries_total", &[])
+        .add(queries.len() as u64);
+
+    // Per-shard statistics are aggregated locally (no shared atomics on
+    // the per-query path) and exported once per batch.
+    let run_shard = |shard: &[BatchQuery]| -> (Vec<Vec<u32>>, QueryStats) {
+        let mut agg = QueryStats::new();
+        let results = shard
             .iter()
             .map(|q| {
-                let mut r = index.query(&q.rect, &q.keywords);
+                let (mut r, s) = index.query_with_stats(&q.rect, &q.keywords);
+                agg.absorb(&s);
                 r.sort_unstable();
                 r
             })
             .collect();
-    }
+        (results, agg)
+    };
 
-    let threads = threads.min(queries.len());
-    let chunk = queries.len().div_ceil(threads);
-    let mut results: Vec<Vec<Vec<u32>>> = Vec::with_capacity(threads);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = queries
-            .chunks(chunk)
-            .map(|shard| {
-                s.spawn(move || {
-                    shard
-                        .iter()
-                        .map(|q| {
-                            let mut r = index.query(&q.rect, &q.keywords);
-                            r.sort_unstable();
-                            r
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("worker panicked"));
-        }
-    });
-    results.into_iter().flatten().collect()
+    let (results, stats) = if threads == 1 || queries.len() == 1 {
+        run_shard(queries)
+    } else {
+        let threads = threads.min(queries.len());
+        let chunk = queries.len().div_ceil(threads);
+        let mut results: Vec<Vec<Vec<u32>>> = Vec::with_capacity(threads);
+        let mut stats = QueryStats::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = queries
+                .chunks(chunk)
+                .map(|shard| s.spawn(move || run_shard(shard)))
+                .collect();
+            for h in handles {
+                let (shard_results, shard_stats) = h.join().expect("worker panicked");
+                results.push(shard_results);
+                stats.absorb(&shard_stats);
+            }
+        });
+        (results.into_iter().flatten().collect(), stats)
+    };
+    telemetry::record_query("orp_batch", index.k(), &stats, span.elapsed());
+    results
 }
 
 #[cfg(test)]

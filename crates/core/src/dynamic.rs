@@ -21,6 +21,7 @@ use crate::dataset::Dataset;
 use crate::fastmap::FxHashMap;
 use crate::orp::OrpKwIndex;
 use crate::stats::QueryStats;
+use crate::telemetry;
 
 /// Handle returned by [`DynamicOrpKw::insert`], used for deletion.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -206,6 +207,7 @@ impl DynamicOrpKw {
         keywords: &[Keyword],
     ) -> (Vec<ObjectHandle>, QueryStats) {
         assert_eq!(q.dim(), self.dim, "query dimension mismatch");
+        let span = skq_obs::Span::enter("orp.dynamic_query");
         let mut kws = keywords.to_vec();
         kws.sort_unstable();
         kws.dedup();
@@ -236,6 +238,7 @@ impl DynamicOrpKw {
             }
         }
         stats.reported = out.len() as u64;
+        telemetry::record_query("orp_dynamic", self.k, &stats, span.elapsed());
         (out, stats)
     }
 

@@ -33,6 +33,8 @@
 //! * [`stats`] — query-execution statistics used by the experiment
 //!   harness to measure the quantities in the paper's analysis
 //!   (covered/crossing nodes of §3.3, type-1/type-2 nodes of §4).
+//! * [`telemetry`] — export hooks feeding build/query/planner series
+//!   into the process-wide `skq-obs` metrics registry and query log.
 //!
 //! # Example
 //!
@@ -78,6 +80,7 @@ pub mod sp;
 pub mod srp;
 pub mod stats;
 pub mod suite;
+pub mod telemetry;
 
 pub use dataset::Dataset;
 pub use stats::QueryStats;

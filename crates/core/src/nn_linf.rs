@@ -16,6 +16,7 @@ use crate::dataset::Dataset;
 use crate::lc::LcKwIndex;
 use crate::orp::OrpKwIndex;
 use crate::stats::QueryStats;
+use crate::telemetry;
 
 /// The `L∞`-ball `B(q, r)` as a rectangle, rounded *outward* by one
 /// ulp per side: candidate radii are computed as `|q[i] − x|`, whose
@@ -108,6 +109,7 @@ impl LinfNnIndex {
     }
 
     fn build_inner(dataset: &Dataset, engine: RectEngine) -> Self {
+        let start = std::time::Instant::now();
         let dim = dataset.dim();
         let mut sorted_coords = Vec::with_capacity(dim);
         for d in 0..dim {
@@ -115,12 +117,29 @@ impl LinfNnIndex {
             col.sort_by(f64::total_cmp);
             sorted_coords.push(col);
         }
-        Self {
+        let index = Self {
             engine,
             sorted_coords,
             points: dataset.points().to_vec(),
             dim,
-        }
+        };
+        let (nodes, pivots) = match &index.engine {
+            RectEngine::Orp(orp) => orp
+                .kd_node_summaries()
+                .map(|s| (s.len() as u64, s.iter().map(|&(_, _, p, _)| p as u64).sum()))
+                .unwrap_or((0, 0)),
+            RectEngine::Lc(_) => (0, 0),
+        };
+        // Engine plus the candidate-radius columns and the point copies.
+        let words = index.engine.space_words() + 2 * index.dim * index.points.len();
+        telemetry::record_build(
+            "nn_linf",
+            start.elapsed(),
+            nodes,
+            pivots,
+            (words * 8) as u64,
+        );
+        index
     }
 
     /// The number of query keywords the index was built for.

@@ -15,6 +15,7 @@ use crate::dataset::Dataset;
 use crate::dimred::DimRedTree;
 use crate::framework::{FrameworkConfig, KdPartitioner, TransformedIndex};
 use crate::stats::QueryStats;
+use crate::telemetry;
 
 enum Inner {
     /// Theorem 1: kd-tree framework over rank-space coordinates.
@@ -40,6 +41,7 @@ impl OrpKwIndex {
     ///
     /// Panics if `k < 2` or the dataset is empty.
     pub fn build(dataset: &Dataset, k: usize) -> Self {
+        let start = std::time::Instant::now();
         let dim = dataset.dim();
         let inner = if dim <= 2 {
             let rank = RankSpace::build(dataset.points());
@@ -56,7 +58,22 @@ impl OrpKwIndex {
         } else {
             Inner::DimRed(Box::new(DimRedTree::build(dataset, k)))
         };
-        Self { inner, dim, k }
+        let index = Self { inner, dim, k };
+        let (nodes, pivots) = match &index.inner {
+            Inner::Kd { tree, .. } => (
+                tree.num_nodes() as u64,
+                tree.node_summaries().map(|(_, _, p, _)| p as u64).sum(),
+            ),
+            Inner::DimRed(tree) => (tree.num_nodes() as u64, 0),
+        };
+        telemetry::record_build(
+            "orp_kw",
+            start.elapsed(),
+            nodes,
+            pivots,
+            (index.space_words() * 8) as u64,
+        );
+        index
     }
 
     /// The number of query keywords the index was built for.

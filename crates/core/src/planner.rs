@@ -28,6 +28,8 @@ use skq_invidx::{InvertedIndex, Keyword};
 use crate::dataset::Dataset;
 use crate::naive::{KeywordsFirst, StructuredFirst};
 use crate::orp::OrpKwIndex;
+use crate::stats::QueryStats;
+use crate::telemetry;
 
 /// Which plan the planner chose.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,6 +40,17 @@ pub enum Plan {
     StructuredOnly,
     /// The paper's transformed index.
     Framework,
+}
+
+impl Plan {
+    /// Stable label used for metric series and query-log records.
+    pub fn label(self) -> &'static str {
+        match self {
+            Plan::KeywordsOnly => "keywords_only",
+            Plan::StructuredOnly => "structured_only",
+            Plan::Framework => "framework",
+        }
+    }
 }
 
 /// Per-strategy cost estimates (in "objects touched" units).
@@ -62,6 +75,15 @@ impl CostEstimate {
             Plan::StructuredOnly
         } else {
             Plan::Framework
+        }
+    }
+
+    /// The estimate for one specific plan.
+    pub fn cost_of(&self, plan: Plan) -> f64 {
+        match plan {
+            Plan::KeywordsOnly => self.keywords_only,
+            Plan::StructuredOnly => self.structured_only,
+            Plan::Framework => self.framework,
         }
     }
 }
@@ -111,7 +133,6 @@ impl PlannedOrpKw {
     /// Cost estimates for a query (no execution).
     pub fn estimate(&self, q: &Rect, keywords: &[Keyword]) -> CostEstimate {
         let n_obj = self.dataset.len() as f64;
-        let big_n = self.dataset.input_size() as f64;
 
         // Keywords-only: seeded from the shortest list.
         let min_list = keywords
@@ -156,27 +177,71 @@ impl PlannedOrpKw {
             }
         };
         let out_estimate = (inter * selectivity).max(0.0);
-        let framework =
-            big_n.powf(1.0 - 1.0 / self.k as f64) * (1.0 + out_estimate.powf(1.0 / self.k as f64));
 
         CostEstimate {
             keywords_only: min_list,
             structured_only: structured,
-            framework,
+            framework: self.framework_cost(out_estimate),
             out_estimate,
         }
     }
 
+    /// The framework cost `N^{1−1/k} · (1 + OUT^{1/k})` for a given
+    /// (estimated or actual) output size.
+    fn framework_cost(&self, out: f64) -> f64 {
+        let big_n = self.dataset.input_size() as f64;
+        big_n.powf(1.0 - 1.0 / self.k as f64) * (1.0 + out.max(0.0).powf(1.0 / self.k as f64))
+    }
+
     /// Executes the query with the estimated-cheapest plan; returns the
     /// matches (sorted) and the plan used.
+    ///
+    /// Telemetry: increments `skq_planner_chosen_total{plan=…}`,
+    /// compares the prediction against a post-hoc estimate using the
+    /// true output size (bumping `skq_planner_mispredictions_total`
+    /// when the winner would have changed), and appends a query-log
+    /// record carrying both costs.
     pub fn query(&self, q: &Rect, keywords: &[Keyword]) -> (Vec<u32>, Plan) {
-        let plan = self.estimate(q, keywords).best();
-        let mut out = match plan {
-            Plan::KeywordsOnly => self.keywords_first.query_rect(q, keywords),
-            Plan::StructuredOnly => self.structured_first.query_rect(q, keywords),
-            Plan::Framework => self.index.query(q, keywords),
+        let span = skq_obs::Span::enter("orp.planned_query");
+        let est = self.estimate(q, keywords);
+        let plan = est.best();
+        let (mut out, stats) = match plan {
+            Plan::KeywordsOnly => (self.keywords_first.query_rect(q, keywords), None),
+            Plan::StructuredOnly => (self.structured_first.query_rect(q, keywords), None),
+            Plan::Framework => {
+                let (out, stats) = self.index.query_with_stats(q, keywords);
+                (out, Some(stats))
+            }
         };
         out.sort_unstable();
+
+        // Post-hoc check: substitute the true output size into the
+        // framework term (the naive estimates don't depend on OUT). If
+        // the winner changes, the estimator picked the wrong plan.
+        let actual = CostEstimate {
+            framework: self.framework_cost(out.len() as f64),
+            out_estimate: out.len() as f64,
+            ..est
+        };
+        let reg = skq_obs::global();
+        reg.counter("skq_planner_chosen_total", &[("plan", plan.label())])
+            .inc();
+        if actual.best() != plan {
+            reg.counter("skq_planner_mispredictions_total", &[]).inc();
+        }
+        let stats = stats.unwrap_or_else(|| QueryStats {
+            reported: out.len() as u64,
+            ..Default::default()
+        });
+        telemetry::record_query_planned(
+            "orp_planned",
+            self.k,
+            Some(plan.label()),
+            &stats,
+            span.elapsed(),
+            Some(est.cost_of(plan)),
+            Some(actual.cost_of(plan)),
+        );
         (out, plan)
     }
 

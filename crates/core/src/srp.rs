@@ -12,6 +12,7 @@ use skq_invidx::Keyword;
 use crate::dataset::Dataset;
 use crate::sp::SpKwIndex;
 use crate::stats::QueryStats;
+use crate::telemetry;
 
 /// The SRP-KW index.
 ///
@@ -46,12 +47,22 @@ impl SrpKwIndex {
     ///
     /// Panics if `k < 2` or `d + 1` exceeds the supported 8 dimensions.
     pub fn build(dataset: &Dataset, k: usize) -> Self {
+        let start = std::time::Instant::now();
         let dim = dataset.dim();
         let lifted = dataset.map_points(|_, p| lift_point(p));
-        Self {
+        let index = Self {
             sp: SpKwIndex::build(&lifted, k),
             dim,
-        }
+        };
+        let summaries = index.sp.node_summaries();
+        telemetry::record_build(
+            "srp_kw",
+            start.elapsed(),
+            summaries.len() as u64,
+            summaries.iter().map(|&(_, _, p, _)| p as u64).sum(),
+            (index.space_words() * 8) as u64,
+        );
+        index
     }
 
     /// The point dimensionality `d` (queries are `d`-dimensional balls).

@@ -47,10 +47,7 @@ impl QueryStats {
 
     /// Bumps a per-level histogram, growing it as needed.
     pub(crate) fn bump(hist: &mut Vec<u64>, level: usize) {
-        if hist.len() <= level {
-            hist.resize(level + 1, 0);
-        }
-        hist[level] += 1;
+        Self::bump_by(hist, level, 1);
     }
 
     /// Total objects examined (pivot + list scans) — the dominant term
@@ -69,21 +66,9 @@ impl QueryStats {
         self.list_scans += other.list_scans;
         self.pivot_scans += other.pivot_scans;
         self.reported += other.reported;
-        for (i, &v) in other.crossing_by_level.iter().enumerate() {
-            if v > 0 {
-                Self::bump_by(&mut self.crossing_by_level, i, v);
-            }
-        }
-        for (i, &v) in other.type1_by_level.iter().enumerate() {
-            if v > 0 {
-                Self::bump_by(&mut self.type1_by_level, i, v);
-            }
-        }
-        for (i, &v) in other.type2_by_level.iter().enumerate() {
-            if v > 0 {
-                Self::bump_by(&mut self.type2_by_level, i, v);
-            }
-        }
+        Self::merge_hist(&mut self.crossing_by_level, &other.crossing_by_level);
+        Self::merge_hist(&mut self.type1_by_level, &other.type1_by_level);
+        Self::merge_hist(&mut self.type2_by_level, &other.type2_by_level);
     }
 
     fn bump_by(hist: &mut Vec<u64>, level: usize, by: u64) {
@@ -91,6 +76,16 @@ impl QueryStats {
             hist.resize(level + 1, 0);
         }
         hist[level] += by;
+    }
+
+    /// Adds each nonzero level of `src` into `dst`, growing it as
+    /// needed.
+    fn merge_hist(dst: &mut Vec<u64>, src: &[u64]) {
+        for (level, &v) in src.iter().enumerate() {
+            if v > 0 {
+                Self::bump_by(dst, level, v);
+            }
+        }
     }
 }
 

@@ -15,6 +15,8 @@ use skq_invidx::{InvertedIndex, Keyword};
 
 use crate::dataset::Dataset;
 use crate::orp::OrpKwIndex;
+use crate::stats::QueryStats;
+use crate::telemetry;
 
 /// ORP-KW for any number of distinct query keywords in `1..=k_max`
 /// (and graceful degradation beyond).
@@ -75,34 +77,60 @@ impl OrpKwSuite {
     /// * `k > k_max` — the `k_max` index over the `k_max` *rarest*
     ///   keywords, then post-filtering by the rest (a safe superset).
     pub fn query(&self, q: &Rect, keywords: &[Keyword]) -> Vec<u32> {
+        let span = skq_obs::Span::enter("orp.suite_query");
         let mut kws = keywords.to_vec();
         kws.sort_unstable();
         kws.dedup();
-        match kws.len() {
-            0 => (0..self.dataset.len() as u32)
-                .filter(|&i| q.contains(self.dataset.point(i as usize)))
-                .collect(),
-            1 => self
-                .inv
-                .postings(kws[0])
-                .iter()
-                .copied()
-                .filter(|&i| q.contains(self.dataset.point(i as usize)))
-                .collect(),
-            k if k <= self.k_max => self.indexes[k - 2].query(q, &kws),
+        let mut stats = QueryStats::new();
+        let (result, route): (Vec<u32>, &'static str) = match kws.len() {
+            0 => {
+                let r: Vec<u32> = (0..self.dataset.len() as u32)
+                    .filter(|&i| q.contains(self.dataset.point(i as usize)))
+                    .collect();
+                stats.pivot_scans = self.dataset.len() as u64;
+                (r, "range_scan")
+            }
+            1 => {
+                let postings = self.inv.postings(kws[0]);
+                stats.list_scans = postings.len() as u64;
+                let r: Vec<u32> = postings
+                    .iter()
+                    .copied()
+                    .filter(|&i| q.contains(self.dataset.point(i as usize)))
+                    .collect();
+                (r, "postings_filter")
+            }
+            k if k <= self.k_max => {
+                let (r, s) = self.indexes[k - 2].query_with_stats(q, &kws);
+                stats = s;
+                (r, "framework")
+            }
             _ => {
                 // Use the k_max rarest keywords for the index (they
                 // constrain the most), then post-filter the rest.
                 let mut by_freq = kws.clone();
                 by_freq.sort_by_key(|&w| self.inv.len_of(w));
                 let head = &by_freq[..self.k_max];
-                self.indexes[self.k_max - 2]
-                    .query(q, head)
+                let (r, s) = self.indexes[self.k_max - 2].query_with_stats(q, head);
+                stats = s;
+                let r: Vec<u32> = r
                     .into_iter()
                     .filter(|&i| self.dataset.doc(i as usize).contains_all(&kws))
-                    .collect()
+                    .collect();
+                (r, "post_filter")
             }
-        }
+        };
+        stats.reported = result.len() as u64;
+        telemetry::record_query_planned(
+            "orp_suite",
+            kws.len(),
+            Some(route),
+            &stats,
+            span.elapsed(),
+            None,
+            None,
+        );
+        result
     }
 
     /// Total space across all member indexes, in 64-bit words.

@@ -1,0 +1,121 @@
+//! Export hooks from index build/query paths into the global
+//! [`skq_obs`] metrics registry and query log.
+//!
+//! Everything here funnels through [`skq_obs::global`] so that any
+//! binary (the CLI, the bench harness, a test) can snapshot one
+//! consistent registry with
+//! [`render_prometheus`](skq_obs::MetricsRegistry::render_prometheus).
+//! The counters are relaxed atomics; the only lock is the registry
+//! handle lookup, so instrumented paths stay cheap. Series follow the
+//! `skq_<subsystem>_<quantity>_<unit>` naming scheme with the variable
+//! parts (index/problem kind, plan) as labels.
+
+use std::time::Duration;
+
+use skq_obs::{global, query_log, QueryRecord};
+
+use crate::stats::QueryStats;
+
+/// Records one index construction: wall time, structural size, and the
+/// estimated memory footprint.
+///
+/// `index` labels the series (`"orp_kw"`, `"srp_kw"`, `"nn_linf"`, …);
+/// `nodes` is the number of tree nodes created, `pivots` the total
+/// pivot-set entries materialized across them (0 when the structure
+/// does not expose it), and `bytes` the estimated resident size
+/// (`space_words() * 8`).
+pub fn record_build(index: &'static str, duration: Duration, nodes: u64, pivots: u64, bytes: u64) {
+    let reg = global();
+    let labels = [("index", index)];
+    reg.counter("skq_build_total", &labels).inc();
+    reg.histogram("skq_build_duration_microseconds", &labels)
+        .observe(duration.as_micros() as u64);
+    reg.counter("skq_build_nodes_total", &labels).add(nodes);
+    reg.counter("skq_build_pivots_total", &labels).add(pivots);
+    reg.gauge("skq_build_estimated_bytes", &labels)
+        .set(bytes as f64);
+}
+
+/// Records one query execution without planner involvement.
+pub fn record_query(kind: &'static str, k: usize, stats: &QueryStats, duration: Duration) {
+    record_query_planned(kind, k, None, stats, duration, None, None);
+}
+
+/// Records one query execution, optionally with the plan chosen by a
+/// planner and its predicted/actual costs (in the planner's abstract
+/// cost units).
+pub fn record_query_planned(
+    kind: &'static str,
+    k: usize,
+    plan: Option<&'static str>,
+    stats: &QueryStats,
+    duration: Duration,
+    predicted_cost: Option<f64>,
+    actual_cost: Option<f64>,
+) {
+    let reg = global();
+    let labels = [("kind", kind)];
+    reg.counter("skq_query_total", &labels).inc();
+    reg.counter("skq_query_nodes_visited_total", &labels)
+        .add(stats.nodes_visited);
+    reg.counter("skq_query_objects_examined_total", &labels)
+        .add(stats.objects_examined());
+    reg.counter("skq_query_reported_total", &labels)
+        .add(stats.reported);
+    reg.histogram("skq_query_duration_microseconds", &labels)
+        .observe(duration.as_micros() as u64);
+    reg.histogram("skq_query_objects_examined", &labels)
+        .observe(stats.objects_examined());
+    query_log().push(QueryRecord {
+        kind,
+        k,
+        plan,
+        nodes_visited: stats.nodes_visited,
+        objects_examined: stats.objects_examined(),
+        reported: stats.reported,
+        predicted_cost,
+        actual_cost,
+        duration,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query_series_appear() {
+        let before_builds = global()
+            .counter_value("skq_build_total", &[("index", "telemetry_test")])
+            .unwrap_or(0);
+        record_build("telemetry_test", Duration::from_micros(120), 10, 4, 8_000);
+        assert_eq!(
+            global().counter_value("skq_build_total", &[("index", "telemetry_test")]),
+            Some(before_builds + 1)
+        );
+
+        let stats = QueryStats {
+            nodes_visited: 6,
+            pivot_scans: 3,
+            list_scans: 2,
+            reported: 1,
+            ..Default::default()
+        };
+        let before_examined = global()
+            .counter_value(
+                "skq_query_objects_examined_total",
+                &[("kind", "telemetry_test")],
+            )
+            .unwrap_or(0);
+        record_query("telemetry_test", 2, &stats, Duration::from_micros(40));
+        assert_eq!(
+            global().counter_value(
+                "skq_query_objects_examined_total",
+                &[("kind", "telemetry_test")]
+            ),
+            Some(before_examined + 5)
+        );
+        let rendered = global().render_prometheus();
+        assert!(rendered.contains("skq_query_duration_microseconds_bucket"));
+    }
+}

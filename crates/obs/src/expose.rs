@@ -1,0 +1,228 @@
+//! Exposition formats: Prometheus text and a human-readable report.
+
+use std::fmt::Write as _;
+
+use crate::histogram::{bucket_upper_edge, NUM_BUCKETS};
+use crate::metrics::{Metric, MetricsRegistry};
+
+/// Maps a dotted/dashed internal name onto the Prometheus charset
+/// (`[a-zA-Z0-9_:]`, not starting with a digit).
+pub fn sanitize_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, String)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_name(k), escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+impl MetricsRegistry {
+    /// Renders every metric in the Prometheus text exposition format
+    /// (version 0.0.4): `# TYPE` lines, one sample line per counter or
+    /// gauge, and cumulative `_bucket`/`_sum`/`_count` series per
+    /// histogram with `le` edges at `2^i − 1`.
+    pub fn render_prometheus(&self) -> String {
+        let metrics = self.metrics.lock().unwrap();
+        let mut out = String::new();
+        let mut last_name: Option<String> = None;
+        for (key, metric) in metrics.iter() {
+            let name = sanitize_name(&key.name);
+            if last_name.as_deref() != Some(&name) {
+                let kind = match metric {
+                    Metric::Counter(_) => "counter",
+                    Metric::Gauge(_) => "gauge",
+                    Metric::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                last_name = Some(name.clone());
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    let labels = render_labels(&key.labels, None);
+                    let _ = writeln!(out, "{name}{labels} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let labels = render_labels(&key.labels, None);
+                    let _ = writeln!(out, "{name}{labels} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let counts = h.bucket_counts();
+                    let top = counts
+                        .iter()
+                        .rposition(|&c| c > 0)
+                        .map(|i| i + 1)
+                        .unwrap_or(0)
+                        .min(NUM_BUCKETS);
+                    let mut cum = 0u64;
+                    for (i, &c) in counts.iter().enumerate().take(top) {
+                        cum += c;
+                        let labels = render_labels(
+                            &key.labels,
+                            Some(("le", bucket_upper_edge(i).to_string())),
+                        );
+                        let _ = writeln!(out, "{name}_bucket{labels} {cum}");
+                    }
+                    let labels = render_labels(&key.labels, Some(("le", "+Inf".to_string())));
+                    let _ = writeln!(out, "{name}_bucket{labels} {}", h.count());
+                    let plain = render_labels(&key.labels, None);
+                    let _ = writeln!(out, "{name}_sum{plain} {}", h.sum());
+                    let _ = writeln!(out, "{name}_count{plain} {}", h.count());
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders a compact human-readable report: counters and gauges as
+    /// `name{labels} = value`, histograms as count/mean/percentiles.
+    pub fn report(&self) -> String {
+        let metrics = self.metrics.lock().unwrap();
+        let mut out = String::new();
+        for (key, metric) in metrics.iter() {
+            let labels = render_labels(&key.labels, None);
+            let name = &key.name;
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name}{labels} = {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name}{labels} = {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "{name}{labels}: n={} mean={:.1} p50≤{} p95≤{} p99≤{} max≤{}",
+                        h.count(),
+                        h.mean(),
+                        h.p50(),
+                        h.p95(),
+                        h.p99(),
+                        h.max_edge()
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_name("orp.query-time"), "orp_query_time");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("ok_name:x"), "ok_name:x");
+    }
+
+    #[test]
+    fn escapes_label_values() {
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+    }
+
+    #[test]
+    fn prometheus_counter_and_gauge_format() {
+        let reg = MetricsRegistry::new();
+        reg.counter("skq_queries_total", &[("plan", "framework")])
+            .add(3);
+        reg.gauge("skq_index_bytes", &[]).set(4096.0);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE skq_index_bytes gauge"), "{text}");
+        assert!(text.contains("skq_index_bytes 4096\n"), "{text}");
+        assert!(text.contains("# TYPE skq_queries_total counter"), "{text}");
+        assert!(
+            text.contains("skq_queries_total{plan=\"framework\"} 3"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn prometheus_type_line_emitted_once_per_name() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c_total", &[("plan", "a")]).inc();
+        reg.counter("c_total", &[("plan", "b")]).inc();
+        let text = reg.render_prometheus();
+        assert_eq!(text.matches("# TYPE c_total counter").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative_with_inf() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_us", &[]);
+        h.observe(1); // bucket 1, le = 1
+        h.observe(3); // bucket 2, le = 3
+        h.observe(3);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE lat_us histogram"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"3\"} 3"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("lat_us_sum 7"), "{text}");
+        assert!(text.contains("lat_us_count 3"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_label_values_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c_total", &[("q", "say \"hi\"\\n")]).inc();
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("c_total{q=\"say \\\"hi\\\"\\\\n\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn report_summarizes_histograms() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", &[]);
+        for v in [10u64, 20, 30] {
+            h.observe(v);
+        }
+        let r = reg.report();
+        assert!(r.contains("lat: n=3"), "{r}");
+        assert!(r.contains("mean=20.0"), "{r}");
+    }
+}

@@ -1,0 +1,244 @@
+//! Log₂-bucketed histograms with percentile extraction.
+//!
+//! A histogram is 65 relaxed atomic counters: bucket 0 holds the value
+//! 0 and bucket `i ≥ 1` holds values in `[2^{i−1}, 2^i − 1]`. Recording
+//! is one `leading_zeros` plus one relaxed `fetch_add` — cheap enough
+//! for query hot paths — and percentiles are reconstructed from the
+//! bucket counts with at most 2× relative error (the bucket width),
+//! which is plenty for latency telemetry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per bit of a `u64`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A concurrent log₂-bucketed histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a value: 0 for 0, else `floor(log2(v)) + 1`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper edge of a bucket: 0 for bucket 0, else `2^i − 1`.
+#[inline]
+pub fn bucket_upper_edge(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Raw bucket counts (index `i` as in [`bucket_index`]).
+    pub fn bucket_counts(&self) -> [u64; NUM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Estimated `q`-quantile (`q ∈ [0, 1]`): the upper edge of the
+    /// bucket containing the rank-`⌈q·n⌉` observation. Returns 0 for an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_upper_edge(i);
+            }
+        }
+        bucket_upper_edge(NUM_BUCKETS - 1)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Upper edge of the highest non-empty bucket (0 when empty).
+    pub fn max_edge(&self) -> u64 {
+        let counts = self.bucket_counts();
+        counts
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &c)| c > 0)
+            .map(|(i, _)| bucket_upper_edge(i))
+            .unwrap_or(0)
+    }
+
+    /// Zeroes every bucket (used by
+    /// [`MetricsRegistry::reset`](crate::MetricsRegistry::reset) for
+    /// test isolation).
+    pub fn clear(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_edges_cover_their_range() {
+        for v in [0u64, 1, 2, 3, 4, 5, 100, 1023, 1024, u64::MAX / 2] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_edge(i), "v={v} i={i}");
+            if i > 0 {
+                assert!(v > bucket_upper_edge(i - 1), "v={v} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn count_sum_mean() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 10] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 16);
+        assert!((h.mean() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_on_known_distribution() {
+        let h = Histogram::new();
+        // 100 observations of 1, one observation of 1000.
+        for _ in 0..100 {
+            h.observe(1);
+        }
+        h.observe(1000);
+        assert_eq!(h.p50(), 1);
+        assert_eq!(h.p95(), 1);
+        // The outlier is the top ~1%: p99 of 101 obs is rank 100 → still 1,
+        // but the max edge must cover 1000.
+        assert!(h.max_edge() >= 1000);
+        assert_eq!(h.quantile(1.0), bucket_upper_edge(bucket_index(1000)));
+    }
+
+    #[test]
+    fn quantile_error_is_bounded_by_bucket_width() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        // True p50 = 500; estimate must be within [500, 2·500).
+        let p50 = h.p50();
+        assert!((500..1024).contains(&p50), "p50 = {p50}");
+        let p99 = h.p99();
+        assert!((990..2048).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max_edge(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let h = Histogram::new();
+        h.observe(5);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn zero_values_land_in_bucket_zero() {
+        let h = Histogram::new();
+        h.observe(0);
+        h.observe(0);
+        assert_eq!(h.bucket_counts()[0], 2);
+        assert_eq!(h.p50(), 0);
+    }
+}

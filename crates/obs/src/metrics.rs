@@ -1,0 +1,279 @@
+//! The metric registry: named counters, gauges, and histograms.
+//!
+//! Registration (name → handle) takes a mutex, so callers should look
+//! their handles up once per operation (or once per structure) and
+//! then update through the returned `Arc` — every update is a relaxed
+//! atomic operation with no locking.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::Histogram;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn clear(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A gauge: a value that can go up and down. Stored as the bit pattern
+/// of an `f64` so it can carry byte counts, ratios, and estimates.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn clear(&self) {
+        self.set(0.0);
+    }
+}
+
+/// The kind of a registered metric (drives `# TYPE` exposition lines).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Set-value gauge.
+    Gauge,
+    /// Log₂-bucketed histogram.
+    Histogram,
+}
+
+/// One registered metric instance.
+#[derive(Clone, Debug)]
+pub(crate) enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    pub(crate) fn kind(&self) -> MetricKind {
+        match self {
+            Metric::Counter(_) => MetricKind::Counter,
+            Metric::Gauge(_) => MetricKind::Gauge,
+            Metric::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// Identity of a metric: name plus sorted label pairs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct MetricKey {
+    pub(crate) name: String,
+    pub(crate) labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Self {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// A registry of named metrics.
+///
+/// # Example
+///
+/// ```
+/// use skq_obs::MetricsRegistry;
+///
+/// let reg = MetricsRegistry::new();
+/// let c = reg.counter("skq_queries_total", &[("kind", "orp")]);
+/// c.inc();
+/// let h = reg.histogram("skq_query_duration_microseconds", &[]);
+/// h.observe(120);
+/// assert!(reg.render_prometheus().contains("skq_queries_total"));
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    pub(crate) metrics: Mutex<BTreeMap<MetricKey, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or creates the counter `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name+labels was registered as another kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = MetricKey::new(name, labels);
+        let mut map = self.metrics.lock().unwrap();
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name} already registered as {:?}", other.kind()),
+        }
+    }
+
+    /// Gets or creates the gauge `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name+labels was registered as another kind.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = MetricKey::new(name, labels);
+        let mut map = self.metrics.lock().unwrap();
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name} already registered as {:?}", other.kind()),
+        }
+    }
+
+    /// Gets or creates the histogram `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name+labels was registered as another kind.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let key = MetricKey::new(name, labels);
+        let mut map = self.metrics.lock().unwrap();
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name} already registered as {:?}", other.kind()),
+        }
+    }
+
+    /// Reads a counter's current value, or `None` if absent. Intended
+    /// for tests and reporting, not hot paths.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let key = MetricKey::new(name, labels);
+        match self.metrics.lock().unwrap().get(&key) {
+            Some(Metric::Counter(c)) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// Number of registered metric instances.
+    pub fn len(&self) -> usize {
+        self.metrics.lock().unwrap().len()
+    }
+
+    /// Whether the registry holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Zeroes every metric, keeping registrations (and outstanding
+    /// handles) alive. Primarily for test isolation.
+    pub fn reset(&self) {
+        for metric in self.metrics.lock().unwrap().values() {
+            match metric {
+                Metric::Counter(c) => c.clear(),
+                Metric::Gauge(g) => g.clear(),
+                Metric::Histogram(h) => h.clear(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c_total", &[]);
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter_value("c_total", &[]), Some(5));
+        // Same identity returns the same underlying atomic.
+        reg.counter("c_total", &[]).inc();
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    fn labels_distinguish_instances() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c_total", &[("plan", "a")]).inc();
+        reg.counter("c_total", &[("plan", "b")]).add(2);
+        assert_eq!(reg.counter_value("c_total", &[("plan", "a")]), Some(1));
+        assert_eq!(reg.counter_value("c_total", &[("plan", "b")]), Some(2));
+        // Label order does not matter.
+        reg.counter("m", &[("x", "1"), ("y", "2")]).inc();
+        assert_eq!(reg.counter_value("m", &[("y", "2"), ("x", "1")]), Some(1));
+    }
+
+    #[test]
+    fn gauge_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("bytes", &[]);
+        g.set(1234.5);
+        assert_eq!(reg.gauge("bytes", &[]).get(), 1234.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x", &[]);
+        reg.gauge("x", &[]);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c_total", &[]);
+        let h = reg.histogram("h", &[]);
+        c.add(9);
+        h.observe(3);
+        reg.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        c.inc(); // old handle still wired to the registry
+        assert_eq!(reg.counter_value("c_total", &[]), Some(1));
+    }
+}

@@ -1,0 +1,172 @@
+//! A fixed-capacity ring buffer of recent query records.
+//!
+//! Metrics aggregate; the query log keeps the last few hundred
+//! individual executions — problem kind, `k`, the plan chosen, the
+//! execution counters, predicted vs. actual cost, and wall time — for
+//! post-hoc debugging ("what did the slow queries have in common?").
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One recorded query execution.
+#[derive(Clone, Debug, Default)]
+pub struct QueryRecord {
+    /// Problem kind (`"orp"`, `"srp"`, `"nn_linf"`, `"planned_orp"`, …).
+    pub kind: &'static str,
+    /// Number of query keywords.
+    pub k: usize,
+    /// Plan chosen, when a planner was involved.
+    pub plan: Option<&'static str>,
+    /// Tree nodes visited.
+    pub nodes_visited: u64,
+    /// Objects examined (pivot + list scans).
+    pub objects_examined: u64,
+    /// Objects reported.
+    pub reported: u64,
+    /// Planner's predicted cost for the chosen plan, if planned.
+    pub predicted_cost: Option<f64>,
+    /// Post-hoc actual cost in the same units, if known.
+    pub actual_cost: Option<f64>,
+    /// Wall time of the execution.
+    pub duration: Duration,
+}
+
+/// A bounded, thread-safe ring buffer of [`QueryRecord`]s.
+#[derive(Debug)]
+pub struct QueryLog {
+    capacity: usize,
+    inner: Mutex<VecDeque<QueryRecord>>,
+}
+
+impl QueryLog {
+    /// An empty log holding at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn push(&self, record: QueryRecord) {
+        let mut q = self.inner.lock().unwrap();
+        if q.len() == self.capacity {
+            q.pop_front();
+        }
+        q.push_back(record);
+    }
+
+    /// The most recent `n` records, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<QueryRecord> {
+        let q = self.inner.lock().unwrap();
+        let skip = q.len().saturating_sub(n);
+        q.iter().skip(skip).cloned().collect()
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of records held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Removes all records.
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().clear();
+    }
+
+    /// One line per recent record, oldest first.
+    pub fn report(&self, n: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in self.recent(n) {
+            let plan = r.plan.unwrap_or("-");
+            let _ = write!(
+                out,
+                "{} k={} plan={} visited={} examined={} reported={} {}µs",
+                r.kind,
+                r.k,
+                plan,
+                r.nodes_visited,
+                r.objects_examined,
+                r.reported,
+                r.duration.as_micros()
+            );
+            if let (Some(p), Some(a)) = (r.predicted_cost, r.actual_cost) {
+                let _ = write!(out, " predicted={p:.0} actual={a:.0}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(k: usize) -> QueryRecord {
+        QueryRecord {
+            kind: "orp",
+            k,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn push_and_recent() {
+        let log = QueryLog::new(8);
+        log.push(rec(2));
+        log.push(rec(3));
+        let r = log.recent(10);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].k, 2);
+        assert_eq!(r[1].k, 3);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let log = QueryLog::new(3);
+        for k in 0..5 {
+            log.push(rec(k));
+        }
+        assert_eq!(log.len(), 3);
+        let ks: Vec<usize> = log.recent(3).iter().map(|r| r.k).collect();
+        assert_eq!(ks, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn recent_limits() {
+        let log = QueryLog::new(10);
+        for k in 0..6 {
+            log.push(rec(k));
+        }
+        let ks: Vec<usize> = log.recent(2).iter().map(|r| r.k).collect();
+        assert_eq!(ks, vec![4, 5]);
+    }
+
+    #[test]
+    fn report_includes_costs() {
+        let log = QueryLog::new(4);
+        log.push(QueryRecord {
+            kind: "planned_orp",
+            k: 2,
+            plan: Some("framework"),
+            predicted_cost: Some(120.0),
+            actual_cost: Some(97.0),
+            ..Default::default()
+        });
+        let r = log.report(4);
+        assert!(r.contains("plan=framework"), "{r}");
+        assert!(r.contains("predicted=120 actual=97"), "{r}");
+    }
+}

@@ -1,0 +1,94 @@
+//! RAII span timers.
+//!
+//! A [`Span`] measures the wall time between its creation and drop and
+//! records it (in microseconds) into the histogram
+//! `skq_span_duration_microseconds{span="<name>"}`. Spans nest freely —
+//! each records independently — so a query method can time its total
+//! under one name while phases (tree descent, pivot scan, list scan)
+//! record under their own names.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::histogram::Histogram;
+use crate::metrics::MetricsRegistry;
+
+/// Histogram name used by all spans.
+pub const SPAN_METRIC: &str = "skq_span_duration_microseconds";
+
+/// An RAII wall-time span; records into a histogram on drop.
+///
+/// # Example
+///
+/// ```
+/// {
+///     let _span = skq_obs::Span::enter("orp.query");
+///     // … timed work …
+/// } // recorded on drop
+/// assert!(skq_obs::global()
+///     .render_prometheus()
+///     .contains("span=\"orp.query\""));
+/// ```
+#[derive(Debug)]
+pub struct Span {
+    hist: Arc<Histogram>,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts a span recording into the [global](crate::global)
+    /// registry.
+    pub fn enter(name: &str) -> Self {
+        Self::enter_in(crate::global(), name)
+    }
+
+    /// Starts a span recording into `registry`.
+    pub fn enter_in(registry: &MetricsRegistry, name: &str) -> Self {
+        Self {
+            hist: registry.histogram(SPAN_METRIC, &[("span", name)]),
+            start: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since the span was entered.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.hist.observe(self.start.elapsed().as_micros() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let reg = MetricsRegistry::new();
+        {
+            let _s = Span::enter_in(&reg, "test.phase");
+        }
+        let h = reg.histogram(SPAN_METRIC, &[("span", "test.phase")]);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn nested_spans_record_independently() {
+        let reg = MetricsRegistry::new();
+        {
+            let _outer = Span::enter_in(&reg, "outer");
+            {
+                let _inner = Span::enter_in(&reg, "inner");
+            }
+            {
+                let _inner = Span::enter_in(&reg, "inner");
+            }
+        }
+        assert_eq!(reg.histogram(SPAN_METRIC, &[("span", "outer")]).count(), 1);
+        assert_eq!(reg.histogram(SPAN_METRIC, &[("span", "inner")]).count(), 2);
+    }
+}

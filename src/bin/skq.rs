@@ -18,6 +18,10 @@
 //! skq ball data.csv --center 150,9 --radius 1.5 --tags pool,pet-friendly
 //! skq nn   data.csv --at 150,9 --t 3 --tags pool,pet-friendly
 //! ```
+//!
+//! Every query command also accepts `--stats` (print the execution
+//! counters and wall time) and `--metrics <path>` (write a Prometheus
+//! text-format snapshot of the build/query metric series).
 
 use std::process::ExitCode;
 
@@ -39,9 +43,9 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   skq demo <out.csv>
   skq stats <data.csv>
-  skq rect <data.csv> --lo a,b,… --hi a,b,… --tags t1,t2[,…]
-  skq ball <data.csv> --center a,b,… --radius r --tags t1,t2[,…]
-  skq nn   <data.csv> --at a,b,… --t N --tags t1,t2[,…]";
+  skq rect <data.csv> --lo a,b,… --hi a,b,… --tags t1,t2[,…] [--stats] [--metrics out.prom]
+  skq ball <data.csv> --center a,b,… --radius r --tags t1,t2[,…] [--stats] [--metrics out.prom]
+  skq nn   <data.csv> --at a,b,… --t N --tags t1,t2[,…] [--stats] [--metrics out.prom]";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing command")?.as_str();
@@ -74,31 +78,35 @@ fn run(args: &[String]) -> Result<(), String> {
             if k < 2 {
                 return Err("need at least 2 distinct tags".into());
             }
-            let hits = match cmd {
+            let dim = loaded.dataset.dim();
+            let started = std::time::Instant::now();
+            let (hits, stats) = match cmd {
                 "rect" => {
-                    let lo = parse_coords(opts.require("lo")?)?;
-                    let hi = parse_coords(opts.require("hi")?)?;
+                    let lo = parse_coords_dim(opts.require("lo")?, dim, "lo")?;
+                    let hi = parse_coords_dim(opts.require("hi")?, dim, "hi")?;
                     let q = Rect::new(&lo, &hi);
                     let index = OrpKwIndex::build(&loaded.dataset, k);
-                    index.query(&q, &tag_ids)
+                    index.query_with_stats(&q, &tag_ids)
                 }
                 "ball" => {
-                    let center = Point::new(&parse_coords(opts.require("center")?)?);
+                    let center =
+                        Point::new(&parse_coords_dim(opts.require("center")?, dim, "center")?);
                     let radius: f64 = opts.require("radius")?.parse().map_err(|_| "bad radius")?;
                     let index = SrpKwIndex::build(&loaded.dataset, k);
-                    index.query(&Ball::new(center, radius), &tag_ids)
+                    index.query_with_stats(&Ball::new(center, radius), &tag_ids)
                 }
                 _ => {
-                    let at = Point::new(&parse_coords(opts.require("at")?)?);
+                    let at = Point::new(&parse_coords_dim(opts.require("at")?, dim, "at")?);
                     let t: usize = opts.require("t")?.parse().map_err(|_| "bad t")?;
                     let index = LinfNnIndex::build(&loaded.dataset, k);
-                    index.query(&at, t, &tag_ids)
+                    index.query_with_stats(&at, t, &tag_ids)
                 }
             };
+            let elapsed = started.elapsed();
             let mut hits = hits;
             hits.sort_unstable();
             println!("{} matches:", hits.len());
-            for id in hits {
+            for &id in &hits {
                 let p = loaded.dataset.point(id as usize);
                 let tags: Vec<&str> = loaded
                     .dataset
@@ -108,6 +116,32 @@ fn run(args: &[String]) -> Result<(), String> {
                     .filter_map(|&w| loaded.dict.name(w))
                     .collect();
                 println!("  #{id}: {:?} {}", p.coords(), tags.join(","));
+            }
+            if opts.has("stats") {
+                println!();
+                println!("query stats: {stats}");
+                println!(
+                    "build+query wall time: {:.3} ms",
+                    elapsed.as_secs_f64() * 1e3
+                );
+            }
+            skq_core::telemetry::record_query(
+                match cmd {
+                    "rect" => "cli_rect",
+                    "ball" => "cli_ball",
+                    _ => "cli_nn",
+                },
+                k,
+                &stats,
+                elapsed,
+            );
+            if let Some(out) = opts.get("metrics") {
+                std::fs::write(
+                    out,
+                    structured_keyword_search::obs::global().render_prometheus(),
+                )
+                .map_err(|e| format!("{out}: {e}"))?;
+                println!("wrote metrics snapshot to {out}");
             }
             Ok(())
         }
@@ -188,6 +222,20 @@ fn parse_coords(s: &str) -> Result<Vec<f64>, String> {
         .collect()
 }
 
+/// Parses a coordinate flag and validates it against the dataset
+/// dimensionality (a mismatched count would otherwise panic deep inside
+/// the index with an unhelpful message).
+fn parse_coords_dim(s: &str, dim: usize, flag: &str) -> Result<Vec<f64>, String> {
+    let coords = parse_coords(s)?;
+    if coords.len() != dim {
+        return Err(format!(
+            "--{flag} has {} coordinate(s) but the dataset is {dim}-dimensional",
+            coords.len()
+        ));
+    }
+    Ok(coords)
+}
+
 fn resolve_tags(loaded: &Loaded, tags: &str) -> Result<Vec<Keyword>, String> {
     let mut ids = Vec::new();
     for t in tags.split(',').map(str::trim).filter(|t| !t.is_empty()) {
@@ -202,16 +250,26 @@ fn resolve_tags(loaded: &Loaded, tags: &str) -> Result<Vec<Keyword>, String> {
     Ok(ids)
 }
 
-/// Tiny flag parser: `--name value` pairs.
+/// Tiny flag parser: `--name value` pairs plus bare boolean switches.
 struct Flags(Vec<(String, String)>);
+
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["stats"];
 
 impl Flags {
     fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
         self.0
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
-            .ok_or_else(|| format!("missing --{name}"))
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.get(name).is_some()
     }
 }
 
@@ -222,6 +280,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         let name = a
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, got {a:?}"))?;
+        if BOOL_FLAGS.contains(&name) {
+            out.push((name.to_string(), String::new()));
+            continue;
+        }
         let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         out.push((name.to_string(), value.clone()));
     }
@@ -280,6 +342,28 @@ mod tests {
         assert_eq!(f.require("lo").unwrap(), "1,2");
         assert!(f.require("tags").is_err());
         assert!(parse_flags(&["oops".to_string()]).is_err());
+    }
+
+    #[test]
+    fn stats_flag_takes_no_value() {
+        let args: Vec<String> = ["--stats", "--metrics", "out.prom", "--tags", "a,b"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = parse_flags(&args).unwrap();
+        assert!(f.has("stats"));
+        assert_eq!(f.get("metrics"), Some("out.prom"));
+        assert_eq!(f.require("tags").unwrap(), "a,b");
+        assert!(!f.has("lo"));
+    }
+
+    #[test]
+    fn coordinate_count_is_validated() {
+        assert_eq!(parse_coords_dim("1,2", 2, "lo").unwrap(), vec![1.0, 2.0]);
+        let err = parse_coords_dim("1,2,3", 2, "lo").unwrap_err();
+        assert!(err.contains("--lo has 3 coordinate(s)"), "{err}");
+        assert!(err.contains("2-dimensional"), "{err}");
+        assert!(parse_coords_dim("1,x", 2, "hi").is_err());
     }
 
     #[test]

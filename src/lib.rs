@@ -51,6 +51,7 @@
 //! | [`geom`] | geometry substrate: points, rectangles, halfspaces, simplices, kd-tree |
 //! | [`invidx`] | inverted-index substrate: documents, dictionary, postings |
 //! | [`workload`] | seeded synthetic data and query generators |
+//! | [`obs`] | observability: metrics registry, span timers, query log, Prometheus exposition |
 //!
 //! See `DESIGN.md` for the architecture and `EXPERIMENTS.md` for the
 //! empirical validation of the paper's Table 1.
@@ -61,6 +62,7 @@
 pub use skq_core as core;
 pub use skq_geom as geom;
 pub use skq_invidx as invidx;
+pub use skq_obs as obs;
 pub use skq_workload as workload;
 
 /// The most commonly used types, re-exported flat.

@@ -1,0 +1,121 @@
+//! Integration tests for the observability wiring: planner telemetry,
+//! query-log records, and the Prometheus snapshot.
+//!
+//! The metrics registry is process-global and the test harness runs
+//! tests in parallel, so every assertion here is on *deltas* of
+//! counters with labels no other test uses, or on records this test
+//! pushed itself.
+
+use structured_keyword_search::core::planner::{Plan, PlannedOrpKw};
+use structured_keyword_search::obs;
+use structured_keyword_search::prelude::*;
+
+fn dataset() -> Dataset {
+    // Keyword 0 in every doc, keyword 1 in ~half: frequent enough that
+    // a full-space query drives the planner to a real choice, and
+    // deterministic so the test is stable.
+    Dataset::from_parts(
+        (0..600)
+            .map(|i| {
+                let x = (i % 30) as f64;
+                let y = (i / 30) as f64;
+                let mut doc = vec![0u32];
+                if i % 2 == 0 {
+                    doc.push(1);
+                }
+                doc.push(2 + (i % 7) as u32);
+                (Point::new2(x, y), doc)
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn planned_query_increments_chosen_plan_counter() {
+    let d = dataset();
+    let planner = PlannedOrpKw::build(&d, 2);
+    let q = Rect::full(2);
+
+    let chosen_before = |plan: Plan| {
+        obs::global()
+            .counter_value("skq_planner_chosen_total", &[("plan", plan.label())])
+            .unwrap_or(0)
+    };
+    let before: Vec<u64> = [Plan::KeywordsOnly, Plan::StructuredOnly, Plan::Framework]
+        .iter()
+        .map(|&p| chosen_before(p))
+        .collect();
+
+    let (hits, plan) = planner.query(&q, &[0, 1]);
+    assert_eq!(hits.len(), 300);
+
+    let after: Vec<u64> = [Plan::KeywordsOnly, Plan::StructuredOnly, Plan::Framework]
+        .iter()
+        .map(|&p| chosen_before(p))
+        .collect();
+    let idx = match plan {
+        Plan::KeywordsOnly => 0,
+        Plan::StructuredOnly => 1,
+        Plan::Framework => 2,
+    };
+    assert_eq!(
+        after[idx],
+        before[idx] + 1,
+        "chosen-plan counter for {plan:?} must increment"
+    );
+}
+
+#[test]
+fn planned_query_logs_predicted_and_actual_cost() {
+    let d = dataset();
+    let planner = PlannedOrpKw::build(&d, 2);
+    let (hits, plan) = planner.query(&Rect::new(&[0.0, 0.0], &[10.0, 10.0]), &[0, 1]);
+
+    // The query log is global; scan recent records for ours.
+    let records = obs::query_log().recent(obs::QUERY_LOG_CAPACITY);
+    let record = records
+        .iter()
+        .rev()
+        .find(|r| r.kind == "orp_planned" && r.reported == hits.len() as u64)
+        .expect("planned query must appear in the query log");
+    assert_eq!(record.k, 2);
+    assert_eq!(record.plan, Some(plan.label()));
+    let predicted = record.predicted_cost.expect("predicted cost recorded");
+    let actual = record.actual_cost.expect("actual cost recorded");
+    assert!(predicted > 0.0 && predicted.is_finite());
+    assert!(actual > 0.0 && actual.is_finite());
+}
+
+#[test]
+fn index_build_populates_build_series() {
+    let d = dataset();
+    let reg = obs::global();
+    let before = reg
+        .counter_value("skq_build_total", &[("index", "orp_kw")])
+        .unwrap_or(0);
+    let _index = OrpKwIndex::build(&d, 2);
+    let after = reg
+        .counter_value("skq_build_total", &[("index", "orp_kw")])
+        .unwrap_or(0);
+    assert!(after > before, "build counter must increase");
+
+    let rendered = reg.render_prometheus();
+    assert!(rendered.contains("# TYPE skq_build_total counter"));
+    assert!(rendered.contains("skq_build_nodes_total{index=\"orp_kw\"}"));
+    assert!(rendered.contains("# TYPE skq_build_duration_microseconds histogram"));
+}
+
+#[test]
+fn suite_query_routes_appear_in_query_log() {
+    let d = dataset();
+    let suite = structured_keyword_search::core::suite::OrpKwSuite::build(&d, 2);
+    let n0 = suite.query(&Rect::full(2), &[]).len();
+    assert_eq!(n0, 600);
+    let records = obs::query_log().recent(obs::QUERY_LOG_CAPACITY);
+    let record = records
+        .iter()
+        .rev()
+        .find(|r| r.kind == "orp_suite" && r.reported == 600)
+        .expect("suite query must be logged");
+    assert_eq!(record.plan, Some("range_scan"));
+}

@@ -1,0 +1,71 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Length specification for [`vec`]: an exact length or a half-open
+/// range.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Generates `Vec`s whose length is drawn from `size` and whose
+/// elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi - self.size.lo) as u64;
+        let len = self.size.lo + (rng.next_u64() % span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_ranged_sizes() {
+        let mut rng = TestRng::from_name("collection-tests");
+        let exact = vec(0u32..5, 4usize);
+        assert_eq!(exact.generate(&mut rng).len(), 4);
+        let ranged = vec(0u32..5, 1..4);
+        for _ in 0..100 {
+            assert!((1..4).contains(&ranged.generate(&mut rng).len()));
+        }
+    }
+}

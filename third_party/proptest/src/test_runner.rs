@@ -1,0 +1,99 @@
+//! Test configuration, case errors, and the deterministic RNG.
+
+use std::fmt;
+
+/// Per-test configuration (`proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A failed property assertion (no shrinking in this stand-in).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic generator: xoshiro256++ seeded from the test name, so
+/// every run of a given test explores the same cases.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeds from a test name (FNV-1a over the bytes, then SplitMix64).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut state = h;
+        let mut split = || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [split(), split(), split(), split()],
+        }
+    }
+
+    /// The next uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::from_name("y");
+        assert_ne!(TestRng::from_name("x").next_u64(), c.next_u64());
+    }
+}

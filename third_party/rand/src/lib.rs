@@ -1,0 +1,233 @@
+//! A std-only, offline stand-in for the subset of `rand` 0.8 this
+//! workspace uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen_range` (half-open and inclusive integer/float ranges), and
+//! `Rng::gen_bool`.
+//!
+//! The build environment resolves crates offline with no registry
+//! cache, so the real `rand` cannot be downloaded; this crate is wired
+//! in through `[patch.crates-io]`. The generator is xoshiro256++
+//! seeded via SplitMix64 — high-quality uniformity for the synthetic
+//! workloads and property tests, deterministic per seed. The streams
+//! differ from the real `rand`'s, which is fine: every test in the
+//! workspace asserts structural properties, not stream values.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// The next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next uniform 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction (only the `u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A primitive that can be drawn uniformly from an interval.
+///
+/// Mirrors `rand::distributions::uniform::SampleUniform` closely enough
+/// that [`SampleRange`] can be a *single* blanket impl per range shape —
+/// which is what lets `w + rng.gen_range(0..7)` infer the literal's
+/// type from `w` instead of falling back to `i32`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let v = (lo as f64 + (hi as f64 - lo as f64) * unit) as $t;
+                // Guard against rounding up to the excluded endpoint.
+                if v >= hi { lo } else { v }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                (lo as f64 + (hi as f64 - lo as f64) * unit) as $t
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// A range shape accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range in gen_range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range in gen_range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from `range` (half-open or inclusive).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range");
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard seeded generator: xoshiro256++ (Blackman–Vigna),
+    /// seeded through SplitMix64 as its authors recommend.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same = (0..100).all(|_| {
+            StdRng::seed_from_u64(7).gen_range(0..u64::MAX) == c.gen_range(0..u64::MAX)
+        });
+        assert!(!same);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-50..50i32);
+            assert!((-50..50).contains(&v));
+            let f = rng.gen_range(0.0..1e6f64);
+            assert!((0.0..1e6).contains(&f));
+            let u = rng.gen_range(3..=7usize);
+            assert!((3..=7).contains(&u));
+            let g = rng.gen_range(-1.0..=1.0f64);
+            assert!((-1.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.4)).count();
+        assert!((38_000..42_000).contains(&hits), "{hits}");
+    }
+}
