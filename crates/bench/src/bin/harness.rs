@@ -5,7 +5,7 @@
 //! EXPERIMENTS.md.
 //!
 //! Usage:
-//!   harness [all|e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|f1|f2] [--quick]
+//!   harness [all|e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|f1|f2|x1|x2] [--quick]
 
 use std::env;
 use std::time::Duration;
@@ -81,6 +81,7 @@ fn main() {
         ("f1", f1),
         ("f2", f2),
         ("x1", x1),
+        ("x2", x2),
     ];
     match which {
         "all" => {
@@ -870,6 +871,53 @@ fn x1(cfg: &Config) {
     t.print();
     println!("\nexpect: dyn query ≈ static × O(#blocks) in the worst case, much less in");
     println!("practice (most blocks are small); insert cost flat-ish (amortized log).");
+}
+
+// ====================================================================
+// X2 — extension: sink-based emission modes (collect / count / limit).
+// ====================================================================
+fn x2(cfg: &Config) {
+    use skq_core::sink::{CountSink, LimitSink, ResultSink};
+    use skq_core::stats::QueryStats;
+    println!("## X2 — result emission modes: collect vs count vs limit-10\n");
+    println!("One traversal, three sinks: collecting materializes the result");
+    println!("vector, counting touches no result memory at all, and a limit");
+    println!("sink stops the traversal at the t-th hit (the threshold-query");
+    println!("primitive behind the NN binary searches).\n");
+    let mut t = Table::new(&["N", "OUT", "collect µs", "count µs", "limit-10 µs"]);
+    for &n in &cfg.sizes() {
+        let ps = planted_spatial(n, 2, 2, n / 20, 1e6, 211);
+        let index = OrpKwIndex::build(&ps.dataset, 2);
+        let q = Rect::full(2);
+        let kws = &ps.query_keywords;
+        let out_len = index.query(&q, kws).len();
+        let tc = measure(cfg.reps(), || {
+            std::hint::black_box(index.query(std::hint::black_box(&q), kws));
+        });
+        let tn = measure(cfg.reps(), || {
+            let mut sink = CountSink::new();
+            let mut stats = QueryStats::new();
+            let _ = index.query_sink(std::hint::black_box(&q), kws, &mut sink, &mut stats);
+            std::hint::black_box(sink.count());
+        });
+        let tl = measure(cfg.reps(), || {
+            let mut sink = LimitSink::new(CountSink::new(), 10);
+            let mut stats = QueryStats::new();
+            let _ = index.query_sink(std::hint::black_box(&q), kws, &mut sink, &mut stats);
+            std::hint::black_box(sink.emitted());
+        });
+        t.row(vec![
+            ps.dataset.input_size().to_string(),
+            out_len.to_string(),
+            us(tc),
+            us(tn),
+            us(tl),
+        ]);
+    }
+    t.print();
+    println!("\nexpect: count ≈ collect (same traversal; the saving is result");
+    println!("memory, not time), and limit-10 far below both once OUT is");
+    println!("large (the traversal stops at the 10th hit).");
 }
 
 // ====================================================================

@@ -27,14 +27,16 @@ pub struct BatchQuery {
 /// returning answers in input order (each sorted by object id).
 ///
 /// With `threads = 1` this degenerates to a plain loop (no thread is
-/// spawned), so callers can use one code path for both modes.
+/// spawned), so callers can use one code path for both modes;
+/// `threads = 0` is clamped to 1 (a zero-width pool makes no progress,
+/// so the nearest meaningful interpretation is sequential).
 ///
 /// # Panics
 ///
-/// Panics if `threads == 0` or any query violates the index's keyword
-/// contract (exactly `k` distinct keywords).
+/// Panics if any query violates the index's keyword contract (exactly
+/// `k` distinct keywords).
 pub fn run_batch(index: &OrpKwIndex, queries: &[BatchQuery], threads: usize) -> Vec<Vec<u32>> {
-    assert!(threads > 0, "need at least one thread");
+    let threads = threads.max(1);
     if queries.is_empty() {
         return Vec::new();
     }
@@ -44,10 +46,11 @@ pub fn run_batch(index: &OrpKwIndex, queries: &[BatchQuery], threads: usize) -> 
         .add(queries.len() as u64);
 
     // Per-shard statistics are aggregated locally (no shared atomics on
-    // the per-query path) and exported once per batch.
+    // the per-query path) and exported once per batch; each shard also
+    // reports how many results it emitted.
     let run_shard = |shard: &[BatchQuery]| -> (Vec<Vec<u32>>, QueryStats) {
         let mut agg = QueryStats::new();
-        let results = shard
+        let results: Vec<Vec<u32>> = shard
             .iter()
             .map(|q| {
                 let (mut r, s) = index.query_with_stats(&q.rect, &q.keywords);
@@ -56,6 +59,9 @@ pub fn run_batch(index: &OrpKwIndex, queries: &[BatchQuery], threads: usize) -> 
                 r
             })
             .collect();
+        skq_obs::global()
+            .histogram("skq_batch_shard_emitted", &[])
+            .observe(agg.emitted);
         (results, agg)
     };
 
@@ -151,9 +157,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one thread")]
-    fn zero_threads_rejected() {
+    fn zero_threads_clamps_to_sequential() {
         let (index, queries, _) = setup();
-        let _ = run_batch(&index, &queries, 0);
+        let seq = run_batch(&index, &queries, 1);
+        assert_eq!(run_batch(&index, &queries, 0), seq);
     }
 }

@@ -16,11 +16,14 @@
 
 pub mod cut;
 
+use std::ops::ControlFlow;
+
 use skq_geom::Rect;
 use skq_invidx::Keyword;
 
 use crate::dataset::Dataset;
 use crate::orp::OrpKwIndex;
+use crate::sink::{LimitSink, MapSink, ResultSink};
 use crate::stats::QueryStats;
 
 use cut::f_balanced_cut;
@@ -157,29 +160,43 @@ impl DimRedTree {
         out: &mut Vec<u32>,
         stats: &mut QueryStats,
     ) {
+        let mut sink = LimitSink::new(&mut *out, limit);
+        let _ = self.query_sink(q, keywords, &mut sink, stats);
+        stats.emitted += sink.emitted();
+        stats.truncated |= sink.truncated();
+    }
+
+    /// Streaming form of [`query`](Self::query): global object ids are
+    /// emitted into `sink`; type-1 secondary-index hits stream through
+    /// the node's local→global map with no intermediate vector.
+    pub fn query_sink<S: ResultSink>(
+        &self,
+        q: &Rect,
+        keywords: &[Keyword],
+        sink: &mut S,
+        stats: &mut QueryStats,
+    ) -> ControlFlow<()> {
         assert_eq!(q.dim(), self.dataset.dim(), "query dimension mismatch");
-        if limit == 0 {
-            return;
+        if sink.is_full() {
+            return ControlFlow::Break(());
         }
         let (qlo, qhi) = q.interval(0);
         let root = &self.nodes[0];
         if root.sigma.1 < qlo || qhi < root.sigma.0 {
-            return;
+            return ControlFlow::Continue(());
         }
-        self.visit(0, q, (qlo, qhi), keywords, limit, out, stats);
+        self.visit(0, q, (qlo, qhi), keywords, sink, stats)
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn visit(
+    fn visit<S: ResultSink>(
         &self,
         node_id: u32,
         q: &Rect,
         qx: (f64, f64),
         keywords: &[Keyword],
-        limit: usize,
-        out: &mut Vec<u32>,
+        sink: &mut S,
         stats: &mut QueryStats,
-    ) {
+    ) -> ControlFlow<()> {
         let node = &self.nodes[node_id as usize];
         stats.nodes_visited += 1;
         if qx.0 <= node.sigma.0 && node.sigma.1 <= qx.1 {
@@ -187,17 +204,17 @@ impl DimRedTree {
             // answer with the secondary index, ignoring x.
             QueryStats::bump(&mut stats.type1_by_level, node.level as usize);
             let sub_q = q.drop_first();
-            let mut local_out = Vec::new();
             let mut sub_stats = QueryStats::new();
-            let room = limit - out.len();
-            node.secondary
-                .query_limited(&sub_q, keywords, room, &mut local_out, &mut sub_stats);
+            let mut remap = MapSink::new(&mut *sink, |l| node.local[l as usize]);
+            // Erase the adapter type before recursing: the secondary is
+            // itself dimension-reduced for d ≥ 4, and a concrete
+            // `MapSink` per level would monomorphize without bound.
+            let mut erased: &mut dyn ResultSink = &mut remap;
+            let flow = node
+                .secondary
+                .query_sink(&sub_q, keywords, &mut erased, &mut sub_stats);
             stats.absorb(&sub_stats);
-            for l in local_out {
-                out.push(node.local[l as usize]);
-                stats.reported += 1;
-            }
-            return;
+            return flow;
         }
 
         // Type 2: boundary node — scan pivots, recurse into children
@@ -208,22 +225,17 @@ impl DimRedTree {
             if self.dataset.doc(e as usize).contains_all(keywords)
                 && q.contains(self.dataset.point(e as usize))
             {
-                out.push(e);
                 stats.reported += 1;
-                if out.len() >= limit {
-                    return;
-                }
+                sink.emit(e)?;
             }
         }
         for &c in &node.children {
             let cs = self.nodes[c as usize].sigma;
             if cs.0 <= qx.1 && qx.0 <= cs.1 {
-                self.visit(c, q, qx, keywords, limit, out, stats);
-                if out.len() >= limit {
-                    return;
-                }
+                self.visit(c, q, qx, keywords, sink, stats)?;
             }
         }
+        ControlFlow::Continue(())
     }
 }
 

@@ -14,12 +14,15 @@
 //! is dead, so space stays `O(N_live)` and filtering stays `O(1)` per
 //! reported object.
 
+use std::ops::ControlFlow;
+
 use skq_geom::{Point, Rect};
 use skq_invidx::Keyword;
 
 use crate::dataset::Dataset;
 use crate::fastmap::FxHashMap;
 use crate::orp::OrpKwIndex;
+use crate::sink::ResultSink;
 use crate::stats::QueryStats;
 use crate::telemetry;
 
@@ -206,6 +209,19 @@ impl DynamicOrpKw {
         q: &Rect,
         keywords: &[Keyword],
     ) -> (Vec<ObjectHandle>, QueryStats) {
+        self.query_limited(q, keywords, usize::MAX)
+    }
+
+    /// Like [`query`](Self::query), stopping after `limit` live
+    /// matches. Each static block streams its hits through a
+    /// handle-translating sink (no per-block staging vector), so the
+    /// early stop propagates into every block traversal.
+    pub fn query_limited(
+        &self,
+        q: &Rect,
+        keywords: &[Keyword],
+        limit: usize,
+    ) -> (Vec<ObjectHandle>, QueryStats) {
         assert_eq!(q.dim(), self.dim, "query dimension mismatch");
         let span = skq_obs::Span::enter("orp.dynamic_query");
         let mut kws = keywords.to_vec();
@@ -214,30 +230,41 @@ impl DynamicOrpKw {
         assert_eq!(kws.len(), self.k, "need exactly k distinct keywords");
         let mut out = Vec::new();
         let mut stats = QueryStats::new();
+        let mut truncated = false;
         for block in self.blocks.iter().flatten() {
-            let mut local = Vec::new();
             let mut s = QueryStats::new();
-            block
-                .index
-                .query_limited(q, &kws, usize::MAX, &mut local, &mut s);
+            let mut sink = HandleSink {
+                handles: &block.handles,
+                live: &self.live_set,
+                out: &mut out,
+                limit,
+                hit_limit: false,
+            };
+            let flow = block.index.query_sink(q, &kws, &mut sink, &mut s);
+            truncated |= sink.hit_limit;
             stats.absorb(&s);
-            out.extend(
-                local
-                    .into_iter()
-                    .map(|i| block.handles[i as usize])
-                    .filter(|h| self.live_set.contains_key(&h.0)),
-            );
-        }
-        for (p, doc_kws, h) in &self.buffer {
-            stats.pivot_scans += 1;
-            if self.live_set.contains_key(&h.0)
-                && q.contains(p)
-                && kws.iter().all(|w| doc_kws.contains(w))
-            {
-                out.push(*h);
+            if flow.is_break() {
+                break;
             }
         }
-        stats.reported = out.len() as u64;
+        if !truncated {
+            for (p, doc_kws, h) in &self.buffer {
+                stats.pivot_scans += 1;
+                if self.live_set.contains_key(&h.0)
+                    && q.contains(p)
+                    && kws.iter().all(|w| doc_kws.contains(w))
+                {
+                    if out.len() >= limit {
+                        truncated = true;
+                        break;
+                    }
+                    stats.reported += 1;
+                    out.push(*h);
+                }
+            }
+        }
+        stats.emitted = out.len() as u64;
+        stats.truncated |= truncated;
         telemetry::record_query("orp_dynamic", self.k, &stats, span.elapsed());
         (out, stats)
     }
@@ -256,6 +283,45 @@ impl DynamicOrpKw {
             .map(|b| b.index.space_words() + b.source.len() * (self.dim + 4))
             .sum();
         blocks + self.buffer.len() * (self.dim + 4) + self.live_set.len() * 2
+    }
+}
+
+/// Translates block-local ids to handles, filters dead objects, and
+/// enforces the cross-block output limit — all inside the block's own
+/// traversal, so an early stop saves real work.
+struct HandleSink<'a> {
+    handles: &'a [ObjectHandle],
+    live: &'a FxHashMap<u64, ()>,
+    out: &'a mut Vec<ObjectHandle>,
+    limit: usize,
+    hit_limit: bool,
+}
+
+impl ResultSink for HandleSink<'_> {
+    fn emit(&mut self, id: u32) -> ControlFlow<()> {
+        let h = self.handles[id as usize];
+        if !self.live.contains_key(&h.0) {
+            return ControlFlow::Continue(());
+        }
+        if self.out.len() >= self.limit {
+            self.hit_limit = true;
+            return ControlFlow::Break(());
+        }
+        self.out.push(h);
+        if self.out.len() >= self.limit {
+            self.hit_limit = true;
+            return ControlFlow::Break(());
+        }
+        ControlFlow::Continue(())
+    }
+    fn emitted(&self) -> u64 {
+        self.out.len() as u64
+    }
+    fn truncated(&self) -> bool {
+        self.hit_limit
+    }
+    fn is_full(&self) -> bool {
+        self.out.len() >= self.limit
     }
 }
 
@@ -346,6 +412,32 @@ mod tests {
             }
             assert_eq!(idx.len(), mirror.objects.len());
         }
+    }
+
+    #[test]
+    fn limited_query_returns_live_subset() {
+        let mut idx = DynamicOrpKw::new(2, 2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut handles = Vec::new();
+        for _ in 0..600 {
+            let p = Point::new2(rng.gen_range(0..30) as f64, rng.gen_range(0..30) as f64);
+            handles.push(idx.insert(p, vec![rng.gen_range(0..3), 3]));
+        }
+        // Delete some so the live filter is exercised under the limit.
+        for h in handles.iter().step_by(5) {
+            idx.delete(*h);
+        }
+        let q = Rect::full(2);
+        let full = idx.query(&q, &[0, 3]);
+        assert!(full.len() > 7);
+        let (limited, stats) = idx.query_limited(&q, &[0, 3], 7);
+        assert_eq!(limited.len(), 7);
+        assert_eq!(stats.emitted, 7);
+        assert!(stats.truncated);
+        assert!(limited.iter().all(|h| full.contains(h)));
+        let (unlimited, stats) = idx.query_limited(&q, &[0, 3], usize::MAX);
+        assert_eq!(unlimited.len(), full.len());
+        assert!(!stats.truncated);
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! The transformed index (Steps 2–3 of the framework, §3.2–§3.3).
 
+use std::ops::ControlFlow;
+
 use skq_geom::Region;
 use skq_invidx::{Document, Keyword};
 
 use crate::fastmap::FxHashMap;
+use crate::sink::{LimitSink, ResultSink};
 use crate::stats::QueryStats;
 
 use super::combo::{for_each_k_subset, ComboTable};
@@ -272,7 +275,7 @@ impl<P: Partitioner> TransformedIndex<P> {
         total
     }
 
-    /// Answers a `k`-keyword query.
+    /// Answers a `k`-keyword query, collecting into `out` with a limit.
     ///
     /// * `keywords` — exactly `k` distinct keywords;
     /// * `classify` — cell-vs-query classification (conservative allowed);
@@ -282,6 +285,9 @@ impl<P: Partitioner> TransformedIndex<P> {
     ///   `usize::MAX` to report everything);
     /// * `out` — results are appended (object ids, no duplicates);
     /// * `stats` — execution counters.
+    ///
+    /// Thin wrapper over [`query_sink`](Self::query_sink) with a
+    /// [`LimitSink`] around `out`.
     ///
     /// # Panics
     ///
@@ -296,6 +302,32 @@ impl<P: Partitioner> TransformedIndex<P> {
         out: &mut Vec<u32>,
         stats: &mut QueryStats,
     ) {
+        let mut sink = LimitSink::new(&mut *out, limit);
+        let _ = self.query_sink(keywords, classify, accept, &mut sink, stats);
+        stats.emitted += sink.emitted();
+        stats.truncated |= sink.truncated();
+    }
+
+    /// Streaming form of [`query`](Self::query): every matching object
+    /// is emitted into `sink`, which may stop the traversal early (the
+    /// returned `ControlFlow::Break` reports that it did).
+    ///
+    /// The traversal records `reported` (offers to the sink) in `stats`
+    /// but leaves `emitted`/`truncated` for the sink's owner, so a sink
+    /// threaded through several indexes is accounted exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keywords` does not contain exactly `k` distinct
+    /// values.
+    pub fn query_sink<S: ResultSink>(
+        &self,
+        keywords: &[Keyword],
+        classify: &dyn Fn(&P::Cell) -> Region,
+        accept: &dyn Fn(u32) -> bool,
+        sink: &mut S,
+        stats: &mut QueryStats,
+    ) -> ControlFlow<()> {
         let mut kws = keywords.to_vec();
         kws.sort_unstable();
         kws.dedup();
@@ -305,28 +337,27 @@ impl<P: Partitioner> TransformedIndex<P> {
             "the index was built for exactly {} distinct keywords",
             self.k
         );
-        if limit == 0 {
-            return;
+        if sink.is_full() {
+            return ControlFlow::Break(());
         }
         let root_region = classify(&self.nodes[0].cell);
         if root_region == Region::Disjoint {
-            return;
+            return ControlFlow::Continue(());
         }
-        self.visit(0, root_region, &kws, classify, accept, limit, out, stats);
+        self.visit(0, root_region, &kws, classify, accept, sink, stats)
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn visit(
+    fn visit<S: ResultSink>(
         &self,
         node_id: u32,
         region: Region,
         kws: &[Keyword],
         classify: &dyn Fn(&P::Cell) -> Region,
         accept: &dyn Fn(u32) -> bool,
-        limit: usize,
-        out: &mut Vec<u32>,
+        sink: &mut S,
         stats: &mut QueryStats,
-    ) {
+    ) -> ControlFlow<()> {
         let node = &self.nodes[node_id as usize];
         stats.nodes_visited += 1;
         match region {
@@ -342,15 +373,12 @@ impl<P: Partitioner> TransformedIndex<P> {
         for &e in &node.pivots {
             stats.pivot_scans += 1;
             if self.docs[e as usize].contains_all(kws) && accept(e) {
-                out.push(e);
                 stats.reported += 1;
-                if out.len() >= limit {
-                    return;
-                }
+                sink.emit(e)?;
             }
         }
         if node.children.is_empty() {
-            return;
+            return ControlFlow::Continue(());
         }
 
         // Are all k keywords large at this node?
@@ -383,19 +411,7 @@ impl<P: Partitioner> TransformedIndex<P> {
                     _ => classify(&self.nodes[child as usize].cell),
                 };
                 if child_region != Region::Disjoint {
-                    self.visit(
-                        child,
-                        child_region,
-                        kws,
-                        classify,
-                        accept,
-                        limit,
-                        out,
-                        stats,
-                    );
-                    if out.len() >= limit {
-                        return;
-                    }
+                    self.visit(child, child_region, kws, classify, accept, sink, stats)?;
                 }
             }
         } else {
@@ -412,14 +428,12 @@ impl<P: Partitioner> TransformedIndex<P> {
             for &e in list {
                 stats.list_scans += 1;
                 if self.docs[e as usize].contains_all(kws) && accept(e) {
-                    out.push(e);
                     stats.reported += 1;
-                    if out.len() >= limit {
-                        return;
-                    }
+                    sink.emit(e)?;
                 }
             }
         }
+        ControlFlow::Continue(())
     }
 
     /// Iterates over `(level, weight, num_pivots, num_large)` per node —
@@ -570,6 +584,55 @@ mod tests {
         let tree = build_1d(docs, 2, 4);
         let got = run(&tree, &[0, 1], 5);
         assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn count_sink_counts_without_collecting() {
+        let docs: Vec<Vec<Keyword>> = (0..64).map(|_| vec![0, 1]).collect();
+        let tree = build_1d(docs, 2, 4);
+        let mut count = crate::sink::CountSink::new();
+        let mut stats = QueryStats::new();
+        let flow = tree.query_sink(
+            &[0, 1],
+            &|_| Region::Covered,
+            &|_| true,
+            &mut count,
+            &mut stats,
+        );
+        assert!(flow.is_continue());
+        assert_eq!(count.count(), 64);
+        assert_eq!(stats.reported, 64);
+        assert_eq!(stats.emitted, 0, "emitted is accounted by the sink owner");
+    }
+
+    #[test]
+    fn limit_wrapper_records_emitted_and_truncated() {
+        let docs: Vec<Vec<Keyword>> = (0..32).map(|_| vec![0, 1]).collect();
+        let tree = build_1d(docs, 2, 4);
+        let mut out = Vec::new();
+        let mut stats = QueryStats::new();
+        tree.query(
+            &[0, 1],
+            &|_| Region::Covered,
+            &|_| true,
+            5,
+            &mut out,
+            &mut stats,
+        );
+        assert_eq!(stats.emitted, 5);
+        assert!(stats.truncated);
+        let mut stats = QueryStats::new();
+        let mut all = Vec::new();
+        tree.query(
+            &[0, 1],
+            &|_| Region::Covered,
+            &|_| true,
+            usize::MAX,
+            &mut all,
+            &mut stats,
+        );
+        assert_eq!(stats.emitted, 32);
+        assert!(!stats.truncated);
     }
 
     #[test]

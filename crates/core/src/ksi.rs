@@ -14,10 +14,13 @@
 //! framework's geometry machinery collapses gracefully when no geometry
 //! is present.
 
+use std::ops::ControlFlow;
+
 use skq_geom::{Point, Region};
 use skq_invidx::{Document, Keyword};
 
 use crate::framework::{FrameworkConfig, KdPartitioner, TransformedIndex};
+use crate::sink::{CountSink, LimitSink, ResultSink};
 use crate::stats::QueryStats;
 
 /// The k-SI index over a family of sets given as documents.
@@ -91,50 +94,50 @@ impl KsiIndex {
     pub fn intersect_with_stats(&self, keywords: &[Keyword]) -> (Vec<u32>, QueryStats) {
         let mut out = Vec::new();
         let mut stats = QueryStats::new();
-        self.tree.query(
-            keywords,
-            &|_| Region::Covered,
-            &|_| true,
-            usize::MAX,
-            &mut out,
-            &mut stats,
-        );
+        let _ = self.intersect_sink(keywords, &mut out, &mut stats);
+        stats.emitted = out.len() as u64;
         (out, stats)
+    }
+
+    /// Streaming intersection: each element of `⋂ᵢ S_{wᵢ}` is emitted
+    /// into `sink` as it is found (a full-space ORP-KW traversal).
+    pub fn intersect_sink<S: ResultSink>(
+        &self,
+        keywords: &[Keyword],
+        sink: &mut S,
+        stats: &mut QueryStats,
+    ) -> ControlFlow<()> {
+        self.tree
+            .query_sink(keywords, &|_| Region::Covered, &|_| true, sink, stats)
     }
 
     /// An emptiness query: whether `⋂ᵢ S_{wᵢ} = ∅`
     /// (`O(N^{1−1/k})` — a reporting query cut off at the first result,
-    /// exactly the footnote-4 argument of §1.2).
+    /// exactly the footnote-4 argument of §1.2). Allocation-free on the
+    /// result side.
     pub fn intersection_is_empty(&self, keywords: &[Keyword]) -> bool {
-        let mut out = Vec::new();
-        let mut stats = QueryStats::new();
-        self.tree.query(
-            keywords,
-            &|_| Region::Covered,
-            &|_| true,
-            1,
-            &mut out,
-            &mut stats,
-        );
-        out.is_empty()
+        !self.count_at_least(keywords, 1)
     }
 
-    /// Whether the intersection has at least `t` elements.
+    /// The size of the intersection `|⋂ᵢ S_{wᵢ}|`, without materializing
+    /// the result set.
+    pub fn count(&self, keywords: &[Keyword]) -> u64 {
+        let mut sink = CountSink::new();
+        let mut stats = QueryStats::new();
+        let _ = self.intersect_sink(keywords, &mut sink, &mut stats);
+        sink.count()
+    }
+
+    /// Whether the intersection has at least `t` elements, by early
+    /// termination (no result vector is built).
     pub fn count_at_least(&self, keywords: &[Keyword], t: usize) -> bool {
         if t == 0 {
             return true;
         }
-        let mut out = Vec::new();
+        let mut sink = LimitSink::new(CountSink::new(), t);
         let mut stats = QueryStats::new();
-        self.tree.query(
-            keywords,
-            &|_| Region::Covered,
-            &|_| true,
-            t,
-            &mut out,
-            &mut stats,
-        );
-        out.len() >= t
+        let _ = self.intersect_sink(keywords, &mut sink, &mut stats);
+        sink.emitted() >= t as u64
     }
 
     /// Index space in 64-bit words.
@@ -225,5 +228,6 @@ mod tests {
         assert!(ksi.count_at_least(&[0, 1], truth));
         assert!(!ksi.count_at_least(&[0, 1], truth + 1));
         assert!(ksi.count_at_least(&[0, 1], 0));
+        assert_eq!(ksi.count(&[0, 1]), truth as u64);
     }
 }

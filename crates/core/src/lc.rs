@@ -14,10 +14,13 @@
 //! `d`-rectangle is `2d` linear constraints), realizing Table 1's
 //! "`d ≤ k`, `O(N)` space" row: see [`LcKwIndex::query_rect`].
 
+use std::ops::ControlFlow;
+
 use skq_geom::{ConvexPolytope, Halfspace, Rect};
 use skq_invidx::Keyword;
 
 use crate::dataset::Dataset;
+use crate::sink::ResultSink;
 use crate::sp::{SpKwIndex, SpStrategy};
 use crate::stats::QueryStats;
 
@@ -87,6 +90,33 @@ impl LcKwIndex {
             out,
             stats,
         );
+    }
+
+    /// Streaming variant: matching ids are emitted into `sink`.
+    pub fn query_sink<S: ResultSink>(
+        &self,
+        constraints: &[Halfspace],
+        keywords: &[Keyword],
+        sink: &mut S,
+        stats: &mut QueryStats,
+    ) -> ControlFlow<()> {
+        self.sp.query_sink(
+            &ConvexPolytope::new(constraints.to_vec()),
+            keywords,
+            sink,
+            stats,
+        )
+    }
+
+    /// Whether at least `t` objects match, by early termination.
+    pub fn count_at_least(
+        &self,
+        constraints: &[Halfspace],
+        keywords: &[Keyword],
+        t: usize,
+    ) -> bool {
+        self.sp
+            .count_at_least(&ConvexPolytope::new(constraints.to_vec()), keywords, t)
     }
 
     /// Index space in 64-bit words.

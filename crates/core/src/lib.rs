@@ -30,6 +30,10 @@
 //!   (ORP-KW is a decomposable search problem).
 //! * [`planner`] — a cost-based choice among the three strategies.
 //! * [`suite`] — one index per `k ∈ 2..=k_max`, routed automatically.
+//! * [`sink`] — streaming result emission: every traversal reports
+//!   through a [`sink::ResultSink`], so collecting, counting,
+//!   limit-`t`, dedup, and tee behaviours compose without re-walking
+//!   (or even materializing) result vectors.
 //! * [`stats`] — query-execution statistics used by the experiment
 //!   harness to measure the quantities in the paper's analysis
 //!   (covered/crossing nodes of §3.3, type-1/type-2 nodes of §4).
@@ -76,6 +80,7 @@ pub mod nn_linf;
 pub mod orp;
 pub mod planner;
 pub mod rr;
+pub mod sink;
 pub mod sp;
 pub mod srp;
 pub mod stats;

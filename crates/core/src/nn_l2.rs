@@ -12,6 +12,7 @@ use skq_geom::Point;
 use skq_invidx::Keyword;
 
 use crate::dataset::Dataset;
+use crate::sink::{CountSink, LimitSink, ResultSink};
 use crate::srp::SrpKwIndex;
 use crate::stats::QueryStats;
 
@@ -133,9 +134,13 @@ impl L2NnIndex {
 
         if !self.threshold(q, max_sq, keywords, t, &mut stats) {
             // Fewer than t matches exist: return all of them.
-            let (all, s) = self.srp.query_sq_with_stats(q, max_sq as f64, keywords);
-            stats.absorb(&s);
-            return (self.rank_by_distance(q, all, usize::MAX), stats);
+            let mut all = Vec::new();
+            let _ = self
+                .srp
+                .query_sq_sink(q, max_sq as f64, keywords, &mut all, &mut stats);
+            let ranked = self.rank_by_distance(q, all, usize::MAX);
+            stats.emitted = ranked.len() as u64;
+            return (ranked, stats);
         }
 
         // Binary search the integer squared radius.
@@ -150,12 +155,17 @@ impl L2NnIndex {
             }
         }
 
-        let (hits, s) = self.srp.query_sq_with_stats(q, lo as f64, keywords);
-        stats.absorb(&s);
-        (self.rank_by_distance(q, hits, t), stats)
+        let mut hits = Vec::new();
+        let _ = self
+            .srp
+            .query_sq_sink(q, lo as f64, keywords, &mut hits, &mut stats);
+        let out = self.rank_by_distance(q, hits, t);
+        stats.emitted = out.len() as u64;
+        (out, stats)
     }
 
-    /// "Are there at least `t` matches within squared radius `r²`?"
+    /// "Are there at least `t` matches within squared radius `r²`?" —
+    /// a counting probe; no result vector is built.
     fn threshold(
         &self,
         q: &Point,
@@ -164,10 +174,11 @@ impl L2NnIndex {
         t: usize,
         stats: &mut QueryStats,
     ) -> bool {
-        let mut out = Vec::new();
-        self.srp
-            .query_sq_limited(q, radius_sq as f64, keywords, t, &mut out, stats);
-        out.len() >= t
+        let mut probe = LimitSink::new(CountSink::new(), t);
+        let _ = self
+            .srp
+            .query_sq_sink(q, radius_sq as f64, keywords, &mut probe, stats);
+        probe.emitted() >= t as u64
     }
 
     /// Sorts by `(squared L2 distance, id)` — exact for integer inputs —

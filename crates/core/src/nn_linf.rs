@@ -9,12 +9,15 @@
 //! differences `|q[i] − e[i]|`, one of which must be the `t`-th NN
 //! distance — takes `O(log N)` such tests.
 
+use std::ops::ControlFlow;
+
 use skq_geom::{Point, Rect};
 use skq_invidx::Keyword;
 
 use crate::dataset::Dataset;
 use crate::lc::LcKwIndex;
 use crate::orp::OrpKwIndex;
+use crate::sink::{CountSink, LimitSink, ResultSink};
 use crate::stats::QueryStats;
 use crate::telemetry;
 
@@ -40,21 +43,18 @@ enum RectEngine {
 }
 
 impl RectEngine {
-    fn query_limited(
+    fn query_sink<S: ResultSink>(
         &self,
         q: &Rect,
         keywords: &[skq_invidx::Keyword],
-        limit: usize,
-        out: &mut Vec<u32>,
+        sink: &mut S,
         stats: &mut QueryStats,
-    ) {
+    ) -> ControlFlow<()> {
         match self {
-            RectEngine::Orp(i) => i.query_limited(q, keywords, limit, out, stats),
+            RectEngine::Orp(i) => i.query_sink(q, keywords, sink, stats),
             RectEngine::Lc(i) => {
                 let poly = skq_geom::ConvexPolytope::from_rect(q);
-                let mut constraints = Vec::new();
-                constraints.extend_from_slice(poly.halfspaces());
-                i.query_limited(&constraints, keywords, limit, out, stats);
+                i.query_sink(poly.halfspaces(), keywords, sink, stats)
             }
         }
     }
@@ -179,9 +179,12 @@ impl LinfNnIndex {
             // Fewer than t matches exist: return all of them.
             let ball = outward_ball(q, r_max);
             let mut all = Vec::new();
-            self.engine
-                .query_limited(&ball, keywords, usize::MAX, &mut all, &mut stats);
-            return (self.rank_by_distance(q, all, usize::MAX), stats);
+            let _ = self
+                .engine
+                .query_sink(&ball, keywords, &mut all, &mut stats);
+            let ranked = self.rank_by_distance(q, all, usize::MAX);
+            stats.emitted = ranked.len() as u64;
+            return (ranked, stats);
         }
 
         // Binary search the candidate-radius rank for the minimal radius
@@ -202,8 +205,9 @@ impl LinfNnIndex {
         // Collect everything within r* and rank by true distance.
         let ball = outward_ball(q, r_star);
         let mut hits = Vec::new();
-        self.engine
-            .query_limited(&ball, keywords, usize::MAX, &mut hits, &mut stats);
+        let _ = self
+            .engine
+            .query_sink(&ball, keywords, &mut hits, &mut stats);
         let ranked = self.rank_by_distance(q, hits, t);
 
         // Closure pass: re-collect at the t-th hit's actual distance
@@ -213,13 +217,17 @@ impl LinfNnIndex {
         let d_t = self.points[*ranked.last().expect("t >= 1 hits") as usize].linf(q);
         let ball = outward_ball(q, f64::from_bits(d_t.to_bits() + 4));
         let mut hits = Vec::new();
-        self.engine
-            .query_limited(&ball, keywords, usize::MAX, &mut hits, &mut stats);
-        (self.rank_by_distance(q, hits, t), stats)
+        let _ = self
+            .engine
+            .query_sink(&ball, keywords, &mut hits, &mut stats);
+        let out = self.rank_by_distance(q, hits, t);
+        stats.emitted = out.len() as u64;
+        (out, stats)
     }
 
     /// "Are there at least `t` matches within radius `r`?" — the
-    /// early-terminating ORP-KW threshold query of Corollary 4.
+    /// early-terminating ORP-KW threshold query of Corollary 4, run
+    /// through a counting probe so no result vector is ever built.
     fn threshold(
         &self,
         q: &Point,
@@ -229,10 +237,9 @@ impl LinfNnIndex {
         stats: &mut QueryStats,
     ) -> bool {
         let ball = outward_ball(q, r);
-        let mut out = Vec::new();
-        self.engine
-            .query_limited(&ball, keywords, t, &mut out, stats);
-        out.len() >= t
+        let mut probe = LimitSink::new(CountSink::new(), t);
+        let _ = self.engine.query_sink(&ball, keywords, &mut probe, stats);
+        probe.emitted() >= t as u64
     }
 
     /// The `rank`-th smallest candidate radius (0-based), i.e. the

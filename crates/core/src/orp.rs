@@ -8,12 +8,15 @@
 //! with an `O(log log N)` space blow-up per extra dimension
 //! (Theorem 2).
 
+use std::ops::ControlFlow;
+
 use skq_geom::{RankSpace, Rect};
 use skq_invidx::Keyword;
 
 use crate::dataset::Dataset;
 use crate::dimred::DimRedTree;
 use crate::framework::{FrameworkConfig, KdPartitioner, TransformedIndex};
+use crate::sink::{CountSink, LimitSink, ResultSink};
 use crate::stats::QueryStats;
 use crate::telemetry;
 
@@ -116,35 +119,60 @@ impl OrpKwIndex {
         out: &mut Vec<u32>,
         stats: &mut QueryStats,
     ) {
+        let mut sink = LimitSink::new(&mut *out, limit);
+        let _ = self.query_sink(q, keywords, &mut sink, stats);
+        stats.emitted += sink.emitted();
+        stats.truncated |= sink.truncated();
+    }
+
+    /// Streaming query: every matching object id is emitted into `sink`,
+    /// which decides whether to store, count, or stop. The other query
+    /// methods are thin wrappers over this.
+    pub fn query_sink<S: ResultSink>(
+        &self,
+        q: &Rect,
+        keywords: &[Keyword],
+        sink: &mut S,
+        stats: &mut QueryStats,
+    ) -> ControlFlow<()> {
         assert_eq!(q.dim(), self.dim, "query dimension mismatch");
         match &self.inner {
             Inner::Kd { rank, tree } => {
                 let Some(rq) = rank.rect(q) else {
-                    return; // query interval hits no data coordinate
+                    return ControlFlow::Continue(()); // hits no data coordinate
                 };
-                tree.query(
+                tree.query_sink(
                     keywords,
                     &|cell| rq.classify(cell),
                     &|o| rq.contains(&rank.point(o as usize)),
-                    limit,
-                    out,
+                    sink,
                     stats,
-                );
+                )
             }
-            Inner::DimRed(tree) => tree.query(q, keywords, limit, out, stats),
+            Inner::DimRed(tree) => tree.query_sink(q, keywords, sink, stats),
         }
     }
 
+    /// The number of matching objects, with no result materialization
+    /// (a [`CountSink`] run).
+    pub fn count(&self, q: &Rect, keywords: &[Keyword]) -> u64 {
+        let mut sink = CountSink::new();
+        let mut stats = QueryStats::new();
+        let _ = self.query_sink(q, keywords, &mut sink, &mut stats);
+        sink.count()
+    }
+
     /// Whether at least `t` objects match (`O(N^{1−1/k} · t^{1/k})` by
-    /// early termination — see the proof of Corollary 4).
+    /// early termination — see the proof of Corollary 4). Allocation-free
+    /// on the result side: a [`LimitSink`] over a [`CountSink`].
     pub fn count_at_least(&self, q: &Rect, keywords: &[Keyword], t: usize) -> bool {
         if t == 0 {
             return true;
         }
-        let mut out = Vec::new();
+        let mut sink = LimitSink::new(CountSink::new(), t);
         let mut stats = QueryStats::new();
-        self.query_limited(q, keywords, t, &mut out, &mut stats);
-        out.len() >= t
+        let _ = self.query_sink(q, keywords, &mut sink, &mut stats);
+        sink.emitted() >= t as u64
     }
 
     /// Index space in 64-bit words.
@@ -185,6 +213,7 @@ impl OrpKwIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::naive::brute_rect as brute;
     use rand::{rngs::StdRng, Rng, SeedableRng};
     use skq_geom::Point;
 
@@ -200,14 +229,6 @@ mod tests {
                 })
                 .collect(),
         )
-    }
-
-    fn brute(dataset: &Dataset, q: &Rect, kws: &[Keyword]) -> Vec<u32> {
-        (0..dataset.len() as u32)
-            .filter(|&i| {
-                dataset.doc(i as usize).contains_all(kws) && q.contains(dataset.point(i as usize))
-            })
-            .collect()
     }
 
     fn random_rect(rng: &mut StdRng, dim: usize) -> Rect {
@@ -314,8 +335,27 @@ mod tests {
         let mut stats = QueryStats::new();
         index.query_limited(&q, &[0, 1], 3, &mut out, &mut stats);
         assert_eq!(out.len(), 3);
+        assert_eq!(stats.emitted, 3);
+        assert!(stats.truncated);
         assert!(index.count_at_least(&q, &[0, 1], full.len()));
         assert!(!index.count_at_least(&q, &[0, 1], full.len() + 1));
+        assert_eq!(index.count(&q, &[0, 1]), full.len() as u64);
+    }
+
+    #[test]
+    fn count_matches_bruteforce_3d() {
+        let dataset = random_dataset(200, 3, 8, 63);
+        let index = OrpKwIndex::build(&dataset, 2);
+        let mut rng = StdRng::seed_from_u64(64);
+        for _ in 0..20 {
+            let q = random_rect(&mut rng, 3);
+            let w1 = rng.gen_range(0..8);
+            let w2 = (w1 + 1 + rng.gen_range(0..7)) % 8;
+            assert_eq!(
+                index.count(&q, &[w1, w2]),
+                brute(&dataset, &q, &[w1, w2]).len() as u64
+            );
+        }
     }
 
     #[test]

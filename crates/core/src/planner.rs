@@ -28,6 +28,7 @@ use skq_invidx::{InvertedIndex, Keyword};
 use crate::dataset::Dataset;
 use crate::naive::{KeywordsFirst, StructuredFirst};
 use crate::orp::OrpKwIndex;
+use crate::sink::{CountSink, ResultSink, TeeSink};
 use crate::stats::QueryStats;
 use crate::telemetry;
 
@@ -202,25 +203,51 @@ impl PlannedOrpKw {
     /// when the winner would have changed), and appends a query-log
     /// record carrying both costs.
     pub fn query(&self, q: &Rect, keywords: &[Keyword]) -> (Vec<u32>, Plan) {
+        let mut out = Vec::new();
+        let mut stats = QueryStats::new();
+        let plan = self.query_sink(q, keywords, &mut out, &mut stats);
+        out.sort_unstable();
+        (out, plan)
+    }
+
+    /// Streaming planned query: picks the estimated-cheapest plan and
+    /// emits matching ids into `sink` in traversal order (unsorted).
+    /// Returns the chosen plan.
+    ///
+    /// The emission stream is teed into an internal counter so the true
+    /// output size feeds the misprediction check regardless of what
+    /// `sink` does with the ids; if `sink` stops the query early, the
+    /// post-hoc check uses the partial count (the best observation
+    /// available).
+    pub fn query_sink<S: ResultSink>(
+        &self,
+        q: &Rect,
+        keywords: &[Keyword],
+        sink: &mut S,
+        stats: &mut QueryStats,
+    ) -> Plan {
         let span = skq_obs::Span::enter("orp.planned_query");
         let est = self.estimate(q, keywords);
         let plan = est.best();
-        let (mut out, stats) = match plan {
-            Plan::KeywordsOnly => (self.keywords_first.query_rect(q, keywords), None),
-            Plan::StructuredOnly => (self.structured_first.query_rect(q, keywords), None),
-            Plan::Framework => {
-                let (out, stats) = self.index.query_with_stats(q, keywords);
-                (out, Some(stats))
-            }
+        let mut tee = TeeSink::new(&mut *sink, CountSink::new());
+        let _ = match plan {
+            Plan::KeywordsOnly => self.keywords_first.query_rect_sink(q, keywords, &mut tee),
+            Plan::StructuredOnly => self.structured_first.query_rect_sink(q, keywords, &mut tee),
+            Plan::Framework => self.index.query_sink(q, keywords, &mut tee, stats),
         };
-        out.sort_unstable();
+        let out_len = tee.secondary().count();
+        if plan != Plan::Framework {
+            // The naive engines carry no internal stats; account their
+            // offered results here so telemetry stays populated.
+            stats.reported += out_len;
+        }
 
         // Post-hoc check: substitute the true output size into the
         // framework term (the naive estimates don't depend on OUT). If
         // the winner changes, the estimator picked the wrong plan.
         let actual = CostEstimate {
-            framework: self.framework_cost(out.len() as f64),
-            out_estimate: out.len() as f64,
+            framework: self.framework_cost(out_len as f64),
+            out_estimate: out_len as f64,
             ..est
         };
         let reg = skq_obs::global();
@@ -229,20 +256,16 @@ impl PlannedOrpKw {
         if actual.best() != plan {
             reg.counter("skq_planner_mispredictions_total", &[]).inc();
         }
-        let stats = stats.unwrap_or_else(|| QueryStats {
-            reported: out.len() as u64,
-            ..Default::default()
-        });
         telemetry::record_query_planned(
             "orp_planned",
             self.k,
             Some(plan.label()),
-            &stats,
+            stats,
             span.elapsed(),
             Some(est.cost_of(plan)),
             Some(actual.cost_of(plan)),
         );
-        (out, plan)
+        plan
     }
 
     /// Executes with an explicit plan (for testing/measurement).
@@ -303,6 +326,29 @@ mod tests {
             let (d2, _) = planner.query(q, kws);
             assert_eq!(d2, c);
         }
+    }
+
+    #[test]
+    fn sink_query_counts_and_limits() {
+        use crate::sink::LimitSink;
+        let d = dataset();
+        let planner = PlannedOrpKw::build(&d, 2);
+        let q = Rect::new(&[100.0, 100.0], &[300.0, 300.0]);
+        let (full, _) = planner.query(&q, &[0, 1]);
+        assert!(full.len() > 3, "query too selective for this test");
+
+        let mut count = CountSink::new();
+        let mut stats = QueryStats::new();
+        planner.query_sink(&q, &[0, 1], &mut count, &mut stats);
+        assert_eq!(count.count(), full.len() as u64);
+
+        let mut limited = LimitSink::new(Vec::new(), 3);
+        let mut stats = QueryStats::new();
+        planner.query_sink(&q, &[0, 1], &mut limited, &mut stats);
+        assert!(limited.truncated());
+        let got = limited.into_inner();
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|i| full.binary_search(i).is_ok()));
     }
 
     #[test]

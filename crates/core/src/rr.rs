@@ -10,12 +10,15 @@
 //! keyword search: documents with lifespan intervals) this lands in the
 //! `O(N)`-space Theorem 1 regime.
 
+use std::ops::ControlFlow;
+
 use skq_geom::{Point, Rect};
 use skq_invidx::{Document, Keyword};
 
 use crate::dataset::Dataset;
 use crate::lc::LcKwIndex;
 use crate::orp::OrpKwIndex;
+use crate::sink::{DedupSink, LimitSink, ResultSink};
 use crate::stats::QueryStats;
 
 /// The RR-KW index over a set of `d`-rectangles with documents.
@@ -38,6 +41,9 @@ use crate::stats::QueryStats;
 pub struct RrKwIndex {
     orp: OrpKwIndex,
     dim: usize,
+    /// Number of data rectangles — the id universe for query-time
+    /// deduplication.
+    len: usize,
 }
 
 impl RrKwIndex {
@@ -63,6 +69,7 @@ impl RrKwIndex {
         Self {
             orp: OrpKwIndex::build(&dataset, k),
             dim,
+            len: rects.len(),
         }
     }
 
@@ -84,8 +91,44 @@ impl RrKwIndex {
 
     /// Like [`query`](Self::query) with statistics.
     pub fn query_with_stats(&self, q: &Rect, keywords: &[Keyword]) -> (Vec<u32>, QueryStats) {
+        let mut out = Vec::new();
+        let mut stats = QueryStats::new();
+        self.query_limited(q, keywords, usize::MAX, &mut out, &mut stats);
+        (out, stats)
+    }
+
+    /// Limited-output variant (threshold queries on intersecting
+    /// rectangles).
+    pub fn query_limited(
+        &self,
+        q: &Rect,
+        keywords: &[Keyword],
+        limit: usize,
+        out: &mut Vec<u32>,
+        stats: &mut QueryStats,
+    ) {
+        let mut sink = LimitSink::new(&mut *out, limit);
+        let _ = self.query_sink(q, keywords, &mut sink, stats);
+        stats.emitted += sink.emitted();
+        stats.truncated |= sink.truncated();
+    }
+
+    /// Streaming variant. The `2d`-dimensional flattening maps each
+    /// rectangle to a single point, so a correct ORP-KW backend reports
+    /// each id at most once; a bitset [`DedupSink`] guards the reduction
+    /// anyway (one bit per rectangle), keeping the set semantics of the
+    /// composed index independent of backend internals.
+    pub fn query_sink<S: ResultSink>(
+        &self,
+        q: &Rect,
+        keywords: &[Keyword],
+        sink: &mut S,
+        stats: &mut QueryStats,
+    ) -> ControlFlow<()> {
         assert_eq!(q.dim(), self.dim, "query dimension mismatch");
-        self.orp.query_with_stats(&lift_query(q), keywords)
+        let mut dedup = DedupSink::new(self.len, &mut *sink);
+        self.orp
+            .query_sink(&lift_query(q), keywords, &mut dedup, stats)
     }
 
     /// Index space in 64-bit words.
@@ -244,6 +287,22 @@ mod tests {
             got.sort_unstable();
             assert_eq!(got, rr_bruteforce(&rects, &q, &[w1, w2]));
         }
+    }
+
+    #[test]
+    fn limited_query_is_truncated_subset() {
+        let rects = random_rects(250, 1, 4, 31);
+        let index = RrKwIndex::build(&rects, 2);
+        let q = Rect::new(&[0.0], &[100.0]);
+        let full = rr_bruteforce(&rects, &q, &[0, 1]);
+        assert!(full.len() > 4, "need enough matches for the test");
+        let mut out = Vec::new();
+        let mut stats = QueryStats::new();
+        index.query_limited(&q, &[0, 1], 4, &mut out, &mut stats);
+        assert_eq!(out.len(), 4);
+        assert_eq!(stats.emitted, 4);
+        assert!(stats.truncated);
+        assert!(out.iter().all(|i| full.contains(i)));
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! the kd-tree yields `O(N^{1−1/max(k,d)} + N^{1−1/k}·OUT^{1/k})`
 //! there).
 
+use std::ops::ControlFlow;
+
 use skq_geom::{ConvexPolytope, Point, Simplex};
 use skq_invidx::Keyword;
 
@@ -17,6 +19,7 @@ use crate::dataset::Dataset;
 use crate::framework::{
     FrameworkConfig, KdPartitioner, QuadPartitioner, TransformedIndex, WillardPartitioner,
 };
+use crate::sink::{CountSink, LimitSink, ResultSink};
 use crate::stats::QueryStats;
 
 /// Which partitioner backs the index.
@@ -184,47 +187,67 @@ impl SpKwIndex {
         out: &mut Vec<u32>,
         stats: &mut QueryStats,
     ) {
+        let mut sink = LimitSink::new(&mut *out, limit);
+        let _ = self.query_sink(q, keywords, &mut sink, stats);
+        stats.emitted += sink.emitted();
+        stats.truncated |= sink.truncated();
+    }
+
+    /// Streaming query: matching object ids are emitted into `sink`.
+    pub fn query_sink<S: ResultSink>(
+        &self,
+        q: &ConvexPolytope,
+        keywords: &[Keyword],
+        sink: &mut S,
+        stats: &mut QueryStats,
+    ) -> ControlFlow<()> {
         if let Some(d) = q.dim() {
             assert_eq!(d, self.dim, "query dimension mismatch");
         }
         let accept = |o: u32| q.contains(&self.points[o as usize]);
         match &self.inner {
-            Inner::Willard(tree) => tree.query(
+            Inner::Willard(tree) => tree.query_sink(
                 keywords,
                 &|cell| cell.classify(q.halfspaces()),
                 &accept,
-                limit,
-                out,
+                sink,
                 stats,
             ),
-            Inner::Kd(tree) => tree.query(
+            Inner::Kd(tree) => tree.query_sink(
                 keywords,
                 &|cell| q.classify_rect(cell),
                 &accept,
-                limit,
-                out,
+                sink,
                 stats,
             ),
-            Inner::Quad(tree) => tree.query(
+            Inner::Quad(tree) => tree.query_sink(
                 keywords,
                 &|cell| q.classify_rect(cell),
                 &accept,
-                limit,
-                out,
+                sink,
                 stats,
             ),
         }
     }
 
-    /// Whether at least `t` objects match, by early termination.
+    /// The number of matching objects, with no result materialization.
+    pub fn count(&self, q: &ConvexPolytope, keywords: &[Keyword]) -> u64 {
+        let mut sink = CountSink::new();
+        let mut stats = QueryStats::new();
+        let _ = self.query_sink(q, keywords, &mut sink, &mut stats);
+        sink.count()
+    }
+
+    /// Whether at least `t` objects match, by early termination
+    /// (allocation-free on the result side).
     pub fn count_at_least(&self, q: &ConvexPolytope, keywords: &[Keyword], t: usize) -> bool {
         if t == 0 {
             return true;
         }
-        let mut out = Vec::new();
+        let mut sink = LimitSink::new(CountSink::new(), t);
         let mut stats = QueryStats::new();
-        self.query_limited(q, keywords, t, &mut out, &mut stats);
-        out.len() >= t
+        let _ = self.query_sink(q, keywords, &mut sink, &mut stats);
+        sink.emitted() >= t as u64
     }
 
     /// Index space in 64-bit words (cells charged as a constant; the

@@ -6,10 +6,13 @@
 //! into a single halfspace — a 1-constraint LC-KW query on the lifted
 //! set, answered by the partition-tree index.
 
+use std::ops::ControlFlow;
+
 use skq_geom::{lift_point, Ball, ConvexPolytope, Halfspace, Point};
 use skq_invidx::Keyword;
 
 use crate::dataset::Dataset;
+use crate::sink::{CountSink, LimitSink, ResultSink};
 use crate::sp::SpKwIndex;
 use crate::stats::QueryStats;
 use crate::telemetry;
@@ -123,19 +126,31 @@ impl SrpKwIndex {
         out: &mut Vec<u32>,
         stats: &mut QueryStats,
     ) {
+        let mut sink = LimitSink::new(&mut *out, limit);
+        let _ = self.query_sq_sink(center, radius_sq, keywords, &mut sink, stats);
+        stats.emitted += sink.emitted();
+        stats.truncated |= sink.truncated();
+    }
+
+    /// Streaming squared-radius query: matching ids are emitted into
+    /// `sink` — the primitive behind the allocation-free L2-NN probes.
+    pub fn query_sq_sink<S: ResultSink>(
+        &self,
+        center: &Point,
+        radius_sq: f64,
+        keywords: &[Keyword],
+        sink: &mut S,
+        stats: &mut QueryStats,
+    ) -> ControlFlow<()> {
         assert_eq!(center.dim(), self.dim, "query dimension mismatch");
         assert!(radius_sq >= 0.0);
         let hs = lifted_halfspace(center, radius_sq);
-        self.sp.query_limited(
-            &ConvexPolytope::from_halfspace(hs),
-            keywords,
-            limit,
-            out,
-            stats,
-        );
+        self.sp
+            .query_sink(&ConvexPolytope::from_halfspace(hs), keywords, sink, stats)
     }
 
-    /// Whether at least `t` objects match, by early termination.
+    /// Whether at least `t` objects match, by early termination
+    /// (allocation-free on the result side).
     pub fn count_at_least(
         &self,
         center: &Point,
@@ -146,10 +161,10 @@ impl SrpKwIndex {
         if t == 0 {
             return true;
         }
-        let mut out = Vec::new();
+        let mut sink = LimitSink::new(CountSink::new(), t);
         let mut stats = QueryStats::new();
-        self.query_sq_limited(center, radius_sq, keywords, t, &mut out, &mut stats);
-        out.len() >= t
+        let _ = self.query_sq_sink(center, radius_sq, keywords, &mut sink, &mut stats);
+        sink.emitted() >= t as u64
     }
 
     /// Index space in 64-bit words.

@@ -28,6 +28,17 @@ pub struct QueryStats {
     pub pivot_scans: u64,
     /// Objects reported.
     pub reported: u64,
+    /// Results accepted by the query's [`ResultSink`] — the true
+    /// output size of this execution even under a limit. Set by the
+    /// sink-owning wrapper methods (`query`, `query_limited`,
+    /// `query_with_stats`, …), not by the traversal core, so absorbing
+    /// sub-query statistics never double-counts.
+    ///
+    /// [`ResultSink`]: crate::sink::ResultSink
+    pub emitted: u64,
+    /// Whether the sink cut the query short (a `LimitSink` fired), i.e.
+    /// `emitted` may undercount the full answer.
+    pub truncated: bool,
     /// Histogram of crossing nodes by tree level (for Lemma 10 /
     /// Figure 1: `Σ_z (1/2)^{level(z)/2}` must stay `O(1)` per query
     /// line in the kd-tree).
@@ -66,6 +77,8 @@ impl QueryStats {
         self.list_scans += other.list_scans;
         self.pivot_scans += other.pivot_scans;
         self.reported += other.reported;
+        self.emitted += other.emitted;
+        self.truncated |= other.truncated;
         Self::merge_hist(&mut self.crossing_by_level, &other.crossing_by_level);
         Self::merge_hist(&mut self.type1_by_level, &other.type1_by_level);
         Self::merge_hist(&mut self.type2_by_level, &other.type2_by_level);
@@ -102,7 +115,11 @@ impl std::fmt::Display for QueryStats {
             self.list_scans,
             self.small_path_nodes,
             self.reported
-        )
+        )?;
+        if self.truncated {
+            write!(f, " (truncated, emitted {})", self.emitted)?;
+        }
+        Ok(())
     }
 }
 
@@ -124,12 +141,15 @@ mod tests {
         let mut a = QueryStats {
             nodes_visited: 2,
             reported: 1,
+            emitted: 1,
             crossing_by_level: vec![1],
             ..Default::default()
         };
         let b = QueryStats {
             nodes_visited: 3,
             reported: 4,
+            emitted: 2,
+            truncated: true,
             crossing_by_level: vec![0, 5],
             type2_by_level: vec![2],
             ..Default::default()
@@ -137,6 +157,8 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.nodes_visited, 5);
         assert_eq!(a.reported, 5);
+        assert_eq!(a.emitted, 3);
+        assert!(a.truncated);
         assert_eq!(a.crossing_by_level, vec![1, 5]);
         assert_eq!(a.type2_by_level, vec![2]);
     }

@@ -10,11 +10,14 @@
 //! Space grows by the factor `k_max − 1`, which is `O(1)` under the
 //! paper's constant-`k` regime.
 
+use std::ops::ControlFlow;
+
 use skq_geom::Rect;
 use skq_invidx::{InvertedIndex, Keyword};
 
 use crate::dataset::Dataset;
 use crate::orp::OrpKwIndex;
+use crate::sink::{FilterSink, ResultSink};
 use crate::stats::QueryStats;
 use crate::telemetry;
 
@@ -82,45 +85,9 @@ impl OrpKwSuite {
         kws.sort_unstable();
         kws.dedup();
         let mut stats = QueryStats::new();
-        let (result, route): (Vec<u32>, &'static str) = match kws.len() {
-            0 => {
-                let r: Vec<u32> = (0..self.dataset.len() as u32)
-                    .filter(|&i| q.contains(self.dataset.point(i as usize)))
-                    .collect();
-                stats.pivot_scans = self.dataset.len() as u64;
-                (r, "range_scan")
-            }
-            1 => {
-                let postings = self.inv.postings(kws[0]);
-                stats.list_scans = postings.len() as u64;
-                let r: Vec<u32> = postings
-                    .iter()
-                    .copied()
-                    .filter(|&i| q.contains(self.dataset.point(i as usize)))
-                    .collect();
-                (r, "postings_filter")
-            }
-            k if k <= self.k_max => {
-                let (r, s) = self.indexes[k - 2].query_with_stats(q, &kws);
-                stats = s;
-                (r, "framework")
-            }
-            _ => {
-                // Use the k_max rarest keywords for the index (they
-                // constrain the most), then post-filter the rest.
-                let mut by_freq = kws.clone();
-                by_freq.sort_by_key(|&w| self.inv.len_of(w));
-                let head = &by_freq[..self.k_max];
-                let (r, s) = self.indexes[self.k_max - 2].query_with_stats(q, head);
-                stats = s;
-                let r: Vec<u32> = r
-                    .into_iter()
-                    .filter(|&i| self.dataset.doc(i as usize).contains_all(&kws))
-                    .collect();
-                (r, "post_filter")
-            }
-        };
-        stats.reported = result.len() as u64;
+        let mut result = Vec::new();
+        let (route, _) = self.dispatch(q, &kws, &mut result, &mut stats);
+        stats.emitted = result.len() as u64;
         telemetry::record_query_planned(
             "orp_suite",
             kws.len(),
@@ -131,6 +98,81 @@ impl OrpKwSuite {
             None,
         );
         result
+    }
+
+    /// Streaming variant of [`query`](Self::query): matching ids are
+    /// emitted into `sink` as they are found, so counting or limited
+    /// queries materialize no result vector on any route.
+    pub fn query_sink<S: ResultSink>(
+        &self,
+        q: &Rect,
+        keywords: &[Keyword],
+        sink: &mut S,
+        stats: &mut QueryStats,
+    ) -> ControlFlow<()> {
+        let mut kws = keywords.to_vec();
+        kws.sort_unstable();
+        kws.dedup();
+        self.dispatch(q, &kws, sink, stats).1
+    }
+
+    /// Routes a deduped keyword set to the right member and streams the
+    /// answer into `sink`. Returns the route label for telemetry.
+    fn dispatch<S: ResultSink>(
+        &self,
+        q: &Rect,
+        kws: &[Keyword],
+        sink: &mut S,
+        stats: &mut QueryStats,
+    ) -> (&'static str, ControlFlow<()>) {
+        match kws.len() {
+            0 => {
+                let mut flow = ControlFlow::Continue(());
+                for i in 0..self.dataset.len() as u32 {
+                    stats.pivot_scans += 1;
+                    if q.contains(self.dataset.point(i as usize)) {
+                        stats.reported += 1;
+                        if sink.emit(i).is_break() {
+                            flow = ControlFlow::Break(());
+                            break;
+                        }
+                    }
+                }
+                ("range_scan", flow)
+            }
+            1 => {
+                let mut flow = ControlFlow::Continue(());
+                for &i in self.inv.postings(kws[0]) {
+                    stats.list_scans += 1;
+                    if q.contains(self.dataset.point(i as usize)) {
+                        stats.reported += 1;
+                        if sink.emit(i).is_break() {
+                            flow = ControlFlow::Break(());
+                            break;
+                        }
+                    }
+                }
+                ("postings_filter", flow)
+            }
+            k if k <= self.k_max => (
+                "framework",
+                self.indexes[k - 2].query_sink(q, kws, sink, stats),
+            ),
+            _ => {
+                // Use the k_max rarest keywords for the index (they
+                // constrain the most), then post-filter the rest —
+                // streamed through a [`FilterSink`], so the superset is
+                // never materialized.
+                let mut by_freq = kws.to_vec();
+                by_freq.sort_by_key(|&w| self.inv.len_of(w));
+                let head = by_freq[..self.k_max].to_vec();
+                let mut filt = FilterSink::new(&mut *sink, |i| {
+                    self.dataset.doc(i as usize).contains_all(kws)
+                });
+                let flow = self.indexes[self.k_max - 2].query_sink(q, &head, &mut filt, stats);
+                ("post_filter", flow)
+            }
+        }
     }
 
     /// Total space across all member indexes, in 64-bit words.
@@ -164,11 +206,7 @@ mod tests {
         )
     }
 
-    fn brute(d: &Dataset, q: &Rect, kws: &[Keyword]) -> Vec<u32> {
-        (0..d.len() as u32)
-            .filter(|&i| d.doc(i as usize).contains_all(kws) && q.contains(d.point(i as usize)))
-            .collect()
-    }
+    use crate::naive::brute_rect as brute;
 
     #[test]
     fn routes_each_k_correctly() {
@@ -212,6 +250,32 @@ mod tests {
         let mut got = suite.query(&q, &kws);
         got.sort_unstable();
         assert_eq!(got, brute(&d, &q, &kws));
+    }
+
+    #[test]
+    fn sink_routes_match_query() {
+        use crate::sink::{CountSink, LimitSink};
+        let d = dataset();
+        let suite = OrpKwSuite::build(&d, 3);
+        let q = Rect::new(&[10.0, 10.0], &[45.0, 45.0]);
+        // One keyword set per route: range_scan, postings_filter,
+        // framework, post_filter.
+        for kws in [vec![], vec![4], vec![1, 2], vec![0, 1, 2, 3]] {
+            let full = suite.query(&q, &kws);
+            let mut count = CountSink::new();
+            let mut stats = QueryStats::new();
+            let _ = suite.query_sink(&q, &kws, &mut count, &mut stats);
+            assert_eq!(count.count(), full.len() as u64, "kws={kws:?}");
+            if full.len() >= 2 {
+                let mut limited = LimitSink::new(Vec::new(), 2);
+                let mut stats = QueryStats::new();
+                let _ = suite.query_sink(&q, &kws, &mut limited, &mut stats);
+                assert!(limited.truncated(), "kws={kws:?}");
+                let got = limited.into_inner();
+                assert_eq!(got.len(), 2);
+                assert!(got.iter().all(|i| full.contains(i)), "kws={kws:?}");
+            }
+        }
     }
 
     #[test]

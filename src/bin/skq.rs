@@ -21,7 +21,10 @@
 //!
 //! Every query command also accepts `--stats` (print the execution
 //! counters and wall time) and `--metrics <path>` (write a Prometheus
-//! text-format snapshot of the build/query metric series).
+//! text-format snapshot of the build/query metric series). `rect` and
+//! `ball` additionally accept `--count-only` (stream the hits into a
+//! counter — no result set is materialized) and `--limit <t>` (stop
+//! after `t` hits, the paper's threshold-query primitive).
 
 use std::process::ExitCode;
 
@@ -43,8 +46,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   skq demo <out.csv>
   skq stats <data.csv>
-  skq rect <data.csv> --lo a,b,… --hi a,b,… --tags t1,t2[,…] [--stats] [--metrics out.prom]
-  skq ball <data.csv> --center a,b,… --radius r --tags t1,t2[,…] [--stats] [--metrics out.prom]
+  skq rect <data.csv> --lo a,b,… --hi a,b,… --tags t1,t2[,…] [--count-only] [--limit t] [--stats] [--metrics out.prom]
+  skq ball <data.csv> --center a,b,… --radius r --tags t1,t2[,…] [--count-only] [--limit t] [--stats] [--metrics out.prom]
   skq nn   <data.csv> --at a,b,… --t N --tags t1,t2[,…] [--stats] [--metrics out.prom]";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -79,43 +82,89 @@ fn run(args: &[String]) -> Result<(), String> {
                 return Err("need at least 2 distinct tags".into());
             }
             let dim = loaded.dataset.dim();
+            let count_only = opts.has("count-only");
+            let limit: usize = match opts.get("limit") {
+                Some(v) => v.parse().map_err(|_| "bad --limit")?,
+                None => usize::MAX,
+            };
+            if cmd == "nn" && (count_only || limit != usize::MAX) {
+                return Err("--count-only/--limit apply to rect and ball queries".into());
+            }
             let started = std::time::Instant::now();
-            let (hits, stats) = match cmd {
+            // `hits` is None under --count-only: the matches stream into
+            // a counter and no result vector exists to print.
+            let (hits, stats): (Option<Vec<u32>>, QueryStats) = match cmd {
                 "rect" => {
                     let lo = parse_coords_dim(opts.require("lo")?, dim, "lo")?;
                     let hi = parse_coords_dim(opts.require("hi")?, dim, "hi")?;
                     let q = Rect::new(&lo, &hi);
                     let index = OrpKwIndex::build(&loaded.dataset, k);
-                    index.query_with_stats(&q, &tag_ids)
+                    let mut stats = QueryStats::new();
+                    if count_only {
+                        let mut sink = LimitSink::new(CountSink::new(), limit);
+                        let _ = index.query_sink(&q, &tag_ids, &mut sink, &mut stats);
+                        stats.emitted += sink.emitted();
+                        stats.truncated |= sink.truncated();
+                        (None, stats)
+                    } else {
+                        let mut out = Vec::new();
+                        index.query_limited(&q, &tag_ids, limit, &mut out, &mut stats);
+                        (Some(out), stats)
+                    }
                 }
                 "ball" => {
                     let center =
                         Point::new(&parse_coords_dim(opts.require("center")?, dim, "center")?);
                     let radius: f64 = opts.require("radius")?.parse().map_err(|_| "bad radius")?;
+                    let radius_sq = radius * radius;
                     let index = SrpKwIndex::build(&loaded.dataset, k);
-                    index.query_with_stats(&Ball::new(center, radius), &tag_ids)
+                    let mut stats = QueryStats::new();
+                    if count_only {
+                        let mut sink = LimitSink::new(CountSink::new(), limit);
+                        let _ = index
+                            .query_sq_sink(&center, radius_sq, &tag_ids, &mut sink, &mut stats);
+                        stats.emitted += sink.emitted();
+                        stats.truncated |= sink.truncated();
+                        (None, stats)
+                    } else {
+                        let mut out = Vec::new();
+                        index.query_sq_limited(
+                            &center, radius_sq, &tag_ids, limit, &mut out, &mut stats,
+                        );
+                        (Some(out), stats)
+                    }
                 }
                 _ => {
                     let at = Point::new(&parse_coords_dim(opts.require("at")?, dim, "at")?);
                     let t: usize = opts.require("t")?.parse().map_err(|_| "bad t")?;
                     let index = LinfNnIndex::build(&loaded.dataset, k);
-                    index.query_with_stats(&at, t, &tag_ids)
+                    let (hits, stats) = index.query_with_stats(&at, t, &tag_ids);
+                    (Some(hits), stats)
                 }
             };
             let elapsed = started.elapsed();
-            let mut hits = hits;
-            hits.sort_unstable();
-            println!("{} matches:", hits.len());
-            for &id in &hits {
-                let p = loaded.dataset.point(id as usize);
-                let tags: Vec<&str> = loaded
-                    .dataset
-                    .doc(id as usize)
-                    .keywords()
-                    .iter()
-                    .filter_map(|&w| loaded.dict.name(w))
-                    .collect();
-                println!("  #{id}: {:?} {}", p.coords(), tags.join(","));
+            let truncation_note = if stats.truncated {
+                " (stopped at --limit)"
+            } else {
+                ""
+            };
+            match hits {
+                None => println!("{} matches{truncation_note}", stats.emitted),
+                Some(mut hits) => {
+                    hits.sort_unstable();
+                    println!("{} matches{truncation_note}:", hits.len());
+                    for &id in &hits {
+                        let p = loaded.dataset.point(id as usize);
+                        let tags: Vec<&str> = loaded
+                            .dataset
+                            .doc(id as usize)
+                            .keywords()
+                            .iter()
+                            .filter_map(|&w| loaded.dict.name(w))
+                            .collect();
+                        println!("  #{id}: {:?} {}", p.coords(), tags.join(","));
+                    }
+                }
             }
             if opts.has("stats") {
                 println!();
@@ -254,7 +303,7 @@ fn resolve_tags(loaded: &Loaded, tags: &str) -> Result<Vec<Keyword>, String> {
 struct Flags(Vec<(String, String)>);
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["stats"];
+const BOOL_FLAGS: &[&str] = &["stats", "count-only"];
 
 impl Flags {
     fn require(&self, name: &str) -> Result<&str, String> {
@@ -370,6 +419,30 @@ mod tests {
     fn coords_parse() {
         assert_eq!(parse_coords("1, 2.5,3").unwrap(), vec![1.0, 2.5, 3.0]);
         assert!(parse_coords("1,x").is_err());
+    }
+
+    #[test]
+    fn count_only_flag_takes_no_value() {
+        let args: Vec<String> = ["--count-only", "--limit", "5", "--tags", "a,b"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = parse_flags(&args).unwrap();
+        assert!(f.has("count-only"));
+        assert_eq!(f.get("limit"), Some("5"));
+    }
+
+    #[test]
+    fn end_to_end_count_only() {
+        let loaded = parse_csv(&demo_csv()).unwrap();
+        let tags = resolve_tags(&loaded, "pool,pet-friendly").unwrap();
+        let index = OrpKwIndex::build(&loaded.dataset, tags.len());
+        let q = Rect::new(&[100.0, 8.0], &[200.0, 10.0]);
+        let mut sink = CountSink::new();
+        let mut stats = QueryStats::new();
+        let _ = index.query_sink(&q, &tags, &mut sink, &mut stats);
+        assert_eq!(sink.count(), 3);
+        assert_eq!(stats.reported, 3);
     }
 
     #[test]

@@ -75,6 +75,9 @@ pub mod prelude {
     pub use skq_core::nn_linf::LinfNnIndex;
     pub use skq_core::orp::OrpKwIndex;
     pub use skq_core::rr::{RrKwIndex, RrKwLinear};
+    pub use skq_core::sink::{
+        CollectSink, CountSink, DedupSink, FilterSink, LimitSink, MapSink, ResultSink, TeeSink,
+    };
     pub use skq_core::sp::{SpKwIndex, SpStrategy};
     pub use skq_core::srp::SrpKwIndex;
     pub use skq_core::stats::QueryStats;
