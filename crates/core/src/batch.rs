@@ -1,4 +1,4 @@
-//! Batch query execution across threads.
+//! Batch query execution across threads, with panic-isolated shards.
 //!
 //! Every index in this crate is immutable after construction and
 //! therefore `Sync`; batch workloads (analytics, evaluation sweeps, the
@@ -6,11 +6,23 @@
 //! no locking. This module provides the small amount of plumbing —
 //! deterministic result order, balanced sharding — so callers don't
 //! hand-roll it.
+//!
+//! Fault tolerance: [`run_batch_isolated`] wraps each shard in
+//! `catch_unwind` with one bounded retry, so a panicking query poisons
+//! only its own shard. The [`BatchReport`] records a [`ShardOutcome`]
+//! per shard and `None` results for queries in failed shards; the other
+//! shards' answers are unaffected.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use skq_geom::Rect;
 use skq_invidx::Keyword;
 
+use crate::error::SkqError;
+use crate::failpoints;
+use crate::guard::{GuardedSink, QueryGuard};
 use crate::orp::OrpKwIndex;
+use crate::sink::ResultSink;
 use crate::stats::QueryStats;
 use crate::telemetry;
 
@@ -21,6 +33,60 @@ pub struct BatchQuery {
     pub rect: Rect,
     /// Exactly `k` distinct keywords.
     pub keywords: Vec<Keyword>,
+}
+
+/// What happened to one shard of a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardOutcome {
+    /// The shard completed on the first attempt.
+    Ok,
+    /// The first attempt panicked; the bounded retry succeeded.
+    Retried,
+    /// Both the first attempt and the retry panicked; the shard's
+    /// queries have no results.
+    Failed,
+}
+
+/// The outcome of [`run_batch_isolated`]: per-query results in input
+/// order (`None` for queries whose shard failed), per-shard outcomes,
+/// and aggregated statistics over the successful shards.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-query answers in input order, each sorted by object id;
+    /// `None` when the owning shard failed.
+    pub results: Vec<Option<Vec<u32>>>,
+    /// Per-shard outcomes, in shard order.
+    pub outcomes: Vec<ShardOutcome>,
+    /// Statistics aggregated over the successful shards.
+    pub stats: QueryStats,
+}
+
+impl BatchReport {
+    /// Whether every shard completed (possibly after a retry).
+    pub fn is_complete(&self) -> bool {
+        self.outcomes.iter().all(|o| *o != ShardOutcome::Failed)
+    }
+
+    /// Converts the report into plain per-query results, failing on the
+    /// first shard that panicked through its retry.
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::ShardPanicked` naming the first failed shard.
+    pub fn into_results(self) -> Result<Vec<Vec<u32>>, SkqError> {
+        if let Some(shard) = self
+            .outcomes
+            .iter()
+            .position(|o| *o == ShardOutcome::Failed)
+        {
+            return Err(SkqError::ShardPanicked { shard });
+        }
+        Ok(self
+            .results
+            .into_iter()
+            .map(|r| r.unwrap_or_default())
+            .collect())
+    }
 }
 
 /// Runs `queries` against `index` on up to `threads` OS threads,
@@ -34,11 +100,40 @@ pub struct BatchQuery {
 /// # Panics
 ///
 /// Panics if any query violates the index's keyword contract (exactly
-/// `k` distinct keywords).
+/// `k` distinct keywords), or if a shard fails through its retry (use
+/// [`run_batch_isolated`] to observe failures as values instead).
 pub fn run_batch(index: &OrpKwIndex, queries: &[BatchQuery], threads: usize) -> Vec<Vec<u32>> {
+    let report = run_batch_isolated(index, queries, threads, &QueryGuard::default());
+    report
+        .into_results()
+        .unwrap_or_else(|e| panic!("worker panicked: {e}"))
+}
+
+/// One shard's run: its per-query results and aggregated stats when it
+/// completed (possibly after a retry), `None` when it failed through.
+type ShardRun = (Option<(Vec<Vec<u32>>, QueryStats)>, ShardOutcome);
+
+/// Panic-isolated [`run_batch`]: each shard runs under `catch_unwind`
+/// with one bounded retry, and per-query emission is policed by
+/// `guard` (deadline, cancellation, result budget). A panicking shard
+/// never takes down the batch — its queries come back as `None` and
+/// its [`ShardOutcome::Failed`] is recorded, while every other shard's
+/// results stand.
+///
+/// Each caught panic increments the `skq_batch_shard_panics` counter.
+pub fn run_batch_isolated(
+    index: &OrpKwIndex,
+    queries: &[BatchQuery],
+    threads: usize,
+    guard: &QueryGuard,
+) -> BatchReport {
     let threads = threads.max(1);
     if queries.is_empty() {
-        return Vec::new();
+        return BatchReport {
+            results: Vec::new(),
+            outcomes: Vec::new(),
+            stats: QueryStats::new(),
+        };
     }
     let span = skq_obs::Span::enter("orp.batch");
     skq_obs::global()
@@ -49,12 +144,21 @@ pub fn run_batch(index: &OrpKwIndex, queries: &[BatchQuery], threads: usize) -> 
     // the per-query path) and exported once per batch; each shard also
     // reports how many results it emitted.
     let run_shard = |shard: &[BatchQuery]| -> (Vec<Vec<u32>>, QueryStats) {
+        if let Err(e) = failpoints::check("batch::shard") {
+            panic!("{e}");
+        }
         let mut agg = QueryStats::new();
         let results: Vec<Vec<u32>> = shard
             .iter()
             .map(|q| {
-                let (mut r, s) = index.query_with_stats(&q.rect, &q.keywords);
+                let mut sink = GuardedSink::new(Vec::new(), guard);
+                let mut s = QueryStats::new();
+                let _ = index.query_sink(&q.rect, &q.keywords, &mut sink, &mut s);
+                s.emitted += sink.emitted();
+                s.truncated |= sink.truncated();
+                s.truncated_reason = s.truncated_reason.or(sink.truncated_reason());
                 agg.absorb(&s);
+                let mut r = sink.into_inner();
                 r.sort_unstable();
                 r
             })
@@ -65,32 +169,82 @@ pub fn run_batch(index: &OrpKwIndex, queries: &[BatchQuery], threads: usize) -> 
         (results, agg)
     };
 
-    let (results, stats) = if threads == 1 || queries.len() == 1 {
-        run_shard(queries)
-    } else {
-        let threads = threads.min(queries.len());
-        let chunk = queries.len().div_ceil(threads);
-        let mut results: Vec<Vec<Vec<u32>>> = Vec::with_capacity(threads);
-        let mut stats = QueryStats::new();
-        std::thread::scope(|s| {
-            let handles: Vec<_> = queries
-                .chunks(chunk)
-                .map(|shard| s.spawn(move || run_shard(shard)))
-                .collect();
-            for h in handles {
-                let (shard_results, shard_stats) = h.join().expect("worker panicked");
-                results.push(shard_results);
-                stats.absorb(&shard_stats);
+    // One bounded retry per shard: transient panics (an injected fail
+    // point, a poisoned scratch state) get a second chance; persistent
+    // ones surface as `Failed` without aborting the batch.
+    let isolated = |shard: &[BatchQuery]| -> ShardRun {
+        match catch_unwind(AssertUnwindSafe(|| run_shard(shard))) {
+            Ok(r) => (Some(r), ShardOutcome::Ok),
+            Err(_) => {
+                skq_obs::global()
+                    .counter("skq_batch_shard_panics", &[])
+                    .inc();
+                match catch_unwind(AssertUnwindSafe(|| run_shard(shard))) {
+                    Ok(r) => (Some(r), ShardOutcome::Retried),
+                    Err(_) => {
+                        skq_obs::global()
+                            .counter("skq_batch_shard_panics", &[])
+                            .inc();
+                        (None, ShardOutcome::Failed)
+                    }
+                }
             }
-        });
-        (results.into_iter().flatten().collect(), stats)
+        }
     };
+
+    let chunk = if threads == 1 || queries.len() == 1 {
+        queries.len()
+    } else {
+        queries.len().div_ceil(threads.min(queries.len()))
+    };
+    let shards: Vec<&[BatchQuery]> = queries.chunks(chunk).collect();
+
+    let shard_runs: Vec<ShardRun> = if shards.len() == 1 {
+        vec![isolated(shards[0])]
+    } else {
+        std::thread::scope(|s| {
+            let isolated = &isolated;
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|&shard| s.spawn(move || isolated(shard)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    // Unreachable (the closure catches its own panics),
+                    // but a join failure must not abort the batch.
+                    Err(_) => (None, ShardOutcome::Failed),
+                })
+                .collect()
+        })
+    };
+
+    let mut results: Vec<Option<Vec<u32>>> = Vec::with_capacity(queries.len());
+    let mut outcomes = Vec::with_capacity(shard_runs.len());
+    let mut stats = QueryStats::new();
+    for (shard, (run, outcome)) in shards.iter().zip(shard_runs) {
+        outcomes.push(outcome);
+        match run {
+            Some((shard_results, shard_stats)) => {
+                stats.absorb(&shard_stats);
+                results.extend(shard_results.into_iter().map(Some));
+            }
+            None => results.extend(shard.iter().map(|_| None)),
+        }
+    }
     telemetry::record_query("orp_batch", index.k(), &stats, span.elapsed());
-    results
+    BatchReport {
+        results,
+        outcomes,
+        stats,
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
+
     use super::*;
     use crate::dataset::Dataset;
     use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -154,6 +308,8 @@ mod tests {
     fn empty_batch() {
         let (index, _, _) = setup();
         assert!(run_batch(&index, &[], 4).is_empty());
+        let report = run_batch_isolated(&index, &[], 4, &QueryGuard::default());
+        assert!(report.results.is_empty() && report.outcomes.is_empty());
     }
 
     #[test]
@@ -161,5 +317,52 @@ mod tests {
         let (index, queries, _) = setup();
         let seq = run_batch(&index, &queries, 1);
         assert_eq!(run_batch(&index, &queries, 0), seq);
+    }
+
+    #[test]
+    fn poisoned_shard_is_isolated() {
+        // One query with the wrong keyword arity makes its shard panic
+        // (the index's keyword contract); the other shards still answer.
+        let (index, mut queries, _) = setup();
+        let clean = run_batch(&index, &queries, 4);
+        // 57 queries over 4 threads → ceil(57/4) = 15-query shards; the
+        // bad query lands in shard 3 (index 45).
+        queries[50].keywords = vec![0, 1, 2];
+        let report = run_batch_isolated(&index, &queries, 4, &QueryGuard::default());
+        assert!(!report.is_complete());
+        let failed: Vec<usize> = report
+            .outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| **o == ShardOutcome::Failed)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(failed, vec![3]);
+        // Queries outside the failed shard keep their results.
+        for (i, (got, want)) in report.results.iter().zip(&clean).enumerate() {
+            if i < 45 {
+                assert_eq!(got.as_ref(), Some(want), "query {i}");
+            }
+        }
+        assert!(report.results[50].is_none());
+        // The typed conversion names the failed shard.
+        assert!(matches!(
+            report.into_results(),
+            Err(SkqError::ShardPanicked { shard: 3 })
+        ));
+    }
+
+    #[test]
+    fn guard_budget_truncates_batch_queries() {
+        use crate::stats::TruncatedReason;
+        let (index, queries, _) = setup();
+        let guard = QueryGuard::default().with_max_results(1);
+        let report = run_batch_isolated(&index, &queries, 2, &guard);
+        assert!(report.is_complete());
+        for r in report.results.iter().flatten() {
+            assert!(r.len() <= 1);
+        }
+        // At least one query in this workload has > 1 match.
+        assert_eq!(report.stats.truncated_reason, Some(TruncatedReason::Limit));
     }
 }

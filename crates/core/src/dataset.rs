@@ -5,6 +5,7 @@
 //! input size is `N := Σ_{e∈D} |e.Doc|`, and all bounds are stated in
 //! terms of `N`.
 
+use crate::error::SkqError;
 use skq_geom::Point;
 use skq_invidx::{Document, Keyword};
 
@@ -25,32 +26,109 @@ impl Dataset {
     ///
     /// # Panics
     ///
-    /// Panics if the input is empty, a document is empty, or point
-    /// dimensions are inconsistent.
+    /// Panics with the [`try_from_parts`](Self::try_from_parts) error
+    /// message if the input is empty, a document is empty, point
+    /// dimensions are inconsistent, or a coordinate is NaN/infinite.
     pub fn from_parts(parts: Vec<(Point, Vec<Keyword>)>) -> Self {
-        assert!(!parts.is_empty(), "dataset must be non-empty");
+        Self::try_from_parts(parts).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`from_parts`](Self::from_parts): validates the input
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidDataset` if the input is empty, an object has
+    /// an empty keyword set, point dimensions are inconsistent, or any
+    /// coordinate is NaN or infinite.
+    pub fn try_from_parts(parts: Vec<(Point, Vec<Keyword>)>) -> Result<Self, SkqError> {
+        if parts.is_empty() {
+            return Err(SkqError::InvalidDataset("dataset must be non-empty".into()));
+        }
         let dim = parts[0].0.dim();
         let mut points = Vec::with_capacity(parts.len());
         let mut docs = Vec::with_capacity(parts.len());
-        for (p, kws) in parts {
-            assert_eq!(p.dim(), dim, "inconsistent point dimensions");
+        for (id, (p, kws)) in parts.into_iter().enumerate() {
+            if p.dim() != dim {
+                return Err(SkqError::InvalidDataset(format!(
+                    "inconsistent point dimensions: object {id} is {}-dimensional, object 0 is {dim}-dimensional",
+                    p.dim()
+                )));
+            }
+            if kws.is_empty() {
+                return Err(SkqError::InvalidDataset(format!(
+                    "documents must be non-empty: object {id} has no keywords"
+                )));
+            }
+            Self::check_finite(id, &p)?;
             points.push(p);
             docs.push(Document::new(kws));
         }
-        Self::new(points, docs)
+        Ok(Self::assemble(points, docs))
     }
 
     /// Builds a dataset from parallel point/document vectors.
     ///
     /// # Panics
     ///
-    /// Panics on empty input, length mismatch, or inconsistent
-    /// dimensions.
+    /// Panics with the [`try_new`](Self::try_new) error message on
+    /// empty input, length mismatch, inconsistent dimensions, or
+    /// NaN/infinite coordinates.
     pub fn new(points: Vec<Point>, docs: Vec<Document>) -> Self {
-        assert!(!points.is_empty(), "dataset must be non-empty");
-        assert_eq!(points.len(), docs.len(), "points/docs length mismatch");
+        Self::try_new(points, docs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`new`](Self::new): validates the input instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidDataset` on empty input, a points/docs length
+    /// mismatch, inconsistent dimensions, or NaN/infinite coordinates.
+    /// (Documents are non-empty by `Document` construction.)
+    pub fn try_new(points: Vec<Point>, docs: Vec<Document>) -> Result<Self, SkqError> {
+        if points.is_empty() {
+            return Err(SkqError::InvalidDataset("dataset must be non-empty".into()));
+        }
+        if points.len() != docs.len() {
+            return Err(SkqError::InvalidDataset(format!(
+                "points/docs length mismatch: {} points, {} docs",
+                points.len(),
+                docs.len()
+            )));
+        }
         let dim = points[0].dim();
-        assert!(points.iter().all(|p| p.dim() == dim));
+        for (id, p) in points.iter().enumerate() {
+            if p.dim() != dim {
+                return Err(SkqError::InvalidDataset(format!(
+                    "inconsistent point dimensions: object {id} is {}-dimensional, object 0 is {dim}-dimensional",
+                    p.dim()
+                )));
+            }
+            Self::check_finite(id, p)?;
+        }
+        Ok(Self::assemble(points, docs))
+    }
+
+    fn check_finite(id: usize, p: &Point) -> Result<(), SkqError> {
+        for i in 0..p.dim() {
+            if !p.get(i).is_finite() {
+                return Err(SkqError::InvalidDataset(format!(
+                    "coordinates must be finite: object {id} has {} in dimension {i}",
+                    p.get(i)
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Assembles a dataset from pre-validated parts. Internal
+    /// constructor for the derived-dataset transforms (`map_points`,
+    /// `subset`), which operate on already-validated data and must not
+    /// re-pay full validation on every reduction.
+    fn assemble(points: Vec<Point>, docs: Vec<Document>) -> Self {
+        let dim = points[0].dim();
+        debug_assert!(points.iter().all(|p| p.dim() == dim));
         let input_size = docs.iter().map(Document::len).sum();
         let num_keywords = docs
             .iter()
@@ -136,7 +214,12 @@ impl Dataset {
             .enumerate()
             .map(|(i, p)| f(i, p))
             .collect();
-        Dataset::new(points, self.docs.clone())
+        let dim = points[0].dim();
+        assert!(
+            points.iter().all(|p| p.dim() == dim),
+            "inconsistent point dimensions"
+        );
+        Dataset::assemble(points, self.docs.clone())
     }
 
     /// A derived dataset restricted to the given object ids, together
@@ -150,7 +233,7 @@ impl Dataset {
         assert!(!ids.is_empty(), "subset must be non-empty");
         let points: Vec<Point> = ids.iter().map(|&i| self.points[i as usize]).collect();
         let docs: Vec<Document> = ids.iter().map(|&i| self.docs[i as usize].clone()).collect();
-        (Dataset::new(points, docs), ids.to_vec())
+        (Dataset::assemble(points, docs), ids.to_vec())
     }
 }
 
@@ -209,5 +292,43 @@ mod tests {
             (Point::new2(0.0, 0.0), vec![0]),
             (Point::new1(0.0), vec![0]),
         ]);
+    }
+
+    #[test]
+    fn try_from_parts_rejects_invalid_inputs() {
+        assert!(matches!(
+            Dataset::try_from_parts(vec![]),
+            Err(SkqError::InvalidDataset(_))
+        ));
+        let nan = Dataset::try_from_parts(vec![(Point::new2(f64::NAN, 0.0), vec![0])]);
+        assert!(matches!(nan, Err(SkqError::InvalidDataset(ref m)) if m.contains("finite")));
+        let inf = Dataset::try_from_parts(vec![(Point::new2(0.0, f64::INFINITY), vec![0])]);
+        assert!(matches!(inf, Err(SkqError::InvalidDataset(ref m)) if m.contains("finite")));
+        let empty_doc = Dataset::try_from_parts(vec![(Point::new2(0.0, 0.0), vec![])]);
+        assert!(
+            matches!(empty_doc, Err(SkqError::InvalidDataset(ref m)) if m.contains("non-empty"))
+        );
+    }
+
+    #[test]
+    fn try_from_parts_accepts_valid_input() {
+        let d = Dataset::try_from_parts(vec![(Point::new2(1.0, 2.0), vec![0, 1])]).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.input_size(), 2);
+    }
+
+    #[test]
+    fn try_new_rejects_length_mismatch() {
+        let err = Dataset::try_new(
+            vec![Point::new2(0.0, 0.0), Point::new2(1.0, 1.0)],
+            vec![Document::new(vec![0])],
+        );
+        assert!(matches!(err, Err(SkqError::InvalidDataset(ref m)) if m.contains("mismatch")));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_coordinates_panic_in_legacy_constructor() {
+        let _ = Dataset::from_parts(vec![(Point::new2(f64::NAN, 0.0), vec![0])]);
     }
 }

@@ -20,10 +20,13 @@ use skq_geom::{Point, Rect};
 use skq_invidx::Keyword;
 
 use crate::dataset::Dataset;
+use crate::error::SkqError;
+use crate::failpoints;
 use crate::fastmap::FxHashMap;
+use crate::guard::{GuardedSink, QueryGuard};
 use crate::orp::OrpKwIndex;
 use crate::sink::ResultSink;
-use crate::stats::QueryStats;
+use crate::stats::{QueryStats, TruncatedReason};
 use crate::telemetry;
 
 /// Handle returned by [`DynamicOrpKw::insert`], used for deletion.
@@ -108,16 +111,93 @@ impl DynamicOrpKw {
     ///
     /// Panics on dimension mismatch or an empty document.
     pub fn insert(&mut self, point: Point, keywords: Vec<Keyword>) -> ObjectHandle {
-        assert_eq!(point.dim(), self.dim, "point dimension mismatch");
-        assert!(!keywords.is_empty(), "documents must be non-empty");
+        self.try_insert(point, keywords)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`insert`](Self::insert). If the amortized block
+    /// rebuild fails (e.g. an injected fail point), the insertion is
+    /// rolled back and the index is left exactly as it was — no block
+    /// is lost and subsequent operations behave normally.
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidDataset` on a dimension mismatch, an empty
+    /// document, or non-finite coordinates; any block-build error is
+    /// propagated after rollback.
+    pub fn try_insert(
+        &mut self,
+        point: Point,
+        keywords: Vec<Keyword>,
+    ) -> Result<ObjectHandle, SkqError> {
+        if point.dim() != self.dim {
+            return Err(SkqError::InvalidDataset(format!(
+                "point dimension mismatch: point is {}-dimensional, index is {}-dimensional",
+                point.dim(),
+                self.dim
+            )));
+        }
+        if keywords.is_empty() {
+            return Err(SkqError::InvalidDataset(
+                "documents must be non-empty".into(),
+            ));
+        }
+        for i in 0..point.dim() {
+            if !point.get(i).is_finite() {
+                return Err(SkqError::InvalidDataset(format!(
+                    "coordinates must be finite: inserted point has {} in dimension {i}",
+                    point.get(i)
+                )));
+            }
+        }
         let handle = ObjectHandle(self.next_handle);
         self.next_handle += 1;
         self.live_set.insert(handle.0, ());
         self.buffer.push((point, keywords, handle));
         if self.buffer.len() >= BASE_BLOCK {
-            self.carry();
+            if let Err(e) = self.try_carry() {
+                // Roll back this insertion: the carry left all state
+                // untouched, so popping the buffered item restores the
+                // exact pre-insert index.
+                self.buffer.pop();
+                self.live_set.remove(&handle.0);
+                self.next_handle -= 1;
+                return Err(e);
+            }
         }
-        handle
+        Ok(handle)
+    }
+
+    /// Inserts an object under a caller-chosen id. Ids must be fresh:
+    /// inserting under an id that was ever allocated (by either insert
+    /// surface) is rejected, because the handle may still be referenced
+    /// by the live-set or by a deleted-object tombstone check.
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidQuery` if `id` duplicates an already-allocated
+    /// handle; otherwise the [`try_insert`](Self::try_insert) errors.
+    pub fn try_insert_with_id(
+        &mut self,
+        id: u64,
+        point: Point,
+        keywords: Vec<Keyword>,
+    ) -> Result<ObjectHandle, SkqError> {
+        if id < self.next_handle {
+            return Err(SkqError::InvalidQuery(format!(
+                "duplicate object id {id}: ids up to {} are already allocated",
+                self.next_handle - 1
+            )));
+        }
+        let saved = self.next_handle;
+        self.next_handle = id;
+        match self.try_insert(point, keywords) {
+            Ok(h) => Ok(h),
+            Err(e) => {
+                self.next_handle = saved;
+                Err(e)
+            }
+        }
     }
 
     /// Deletes an object by handle. Returns whether it was live.
@@ -144,26 +224,39 @@ impl DynamicOrpKw {
     }
 
     /// Binary-counter carry: merge the buffer with the maximal run of
-    /// occupied low blocks into the first free slot.
-    fn carry(&mut self) {
-        let mut pool: Vec<(Point, Vec<Keyword>, ObjectHandle)> = std::mem::take(&mut self.buffer);
+    /// occupied low blocks into the first free slot. The merge pool is
+    /// assembled by clone and the new block built *before* any state is
+    /// modified, so a build failure leaves the index untouched.
+    fn try_carry(&mut self) -> Result<(), SkqError> {
+        let mut pool: Vec<(Point, Vec<Keyword>, ObjectHandle)> = self.buffer.clone();
         let mut slot = 0usize;
-        loop {
-            if slot == self.blocks.len() {
-                self.blocks.push(None);
-            }
-            match self.blocks[slot].take() {
+        while slot < self.blocks.len() {
+            match &self.blocks[slot] {
                 None => break,
                 Some(b) => {
-                    pool.extend(b.source);
+                    pool.extend(b.source.iter().cloned());
                     slot += 1;
                 }
             }
         }
-        self.blocks[slot] = Some(Self::build_block(&pool, self.k));
+        let block = Self::try_build_block(&pool, self.k)?;
+        // Commit: only after the build succeeded.
+        self.buffer.clear();
+        if slot == self.blocks.len() {
+            self.blocks.push(None);
+        }
+        for s in 0..slot {
+            self.blocks[s] = None;
+        }
+        self.blocks[slot] = Some(block);
+        Ok(())
     }
 
-    /// Rebuilds everything from live objects only.
+    /// Rebuilds everything from live objects only. If the block build
+    /// fails (e.g. an injected fail point), the live objects are parked
+    /// in the insertion buffer instead — queries fall back to the
+    /// linear scan, staying correct in a degraded (un-indexed) mode
+    /// until the next successful carry re-indexes them.
     fn rebuild(&mut self) {
         let mut pool: Vec<(Point, Vec<Keyword>, ObjectHandle)> = std::mem::take(&mut self.buffer);
         for b in self.blocks.iter_mut() {
@@ -183,18 +276,27 @@ impl DynamicOrpKw {
             .div_ceil(BASE_BLOCK)
             .next_power_of_two()
             .trailing_zeros() as usize;
-        self.blocks.resize_with(slot + 1, || None);
-        self.blocks[slot] = Some(Self::build_block(&pool, self.k));
+        match Self::try_build_block(&pool, self.k) {
+            Ok(block) => {
+                self.blocks.resize_with(slot + 1, || None);
+                self.blocks[slot] = Some(block);
+            }
+            Err(_) => self.buffer = pool,
+        }
     }
 
-    fn build_block(pool: &[(Point, Vec<Keyword>, ObjectHandle)], k: usize) -> Block {
+    fn try_build_block(
+        pool: &[(Point, Vec<Keyword>, ObjectHandle)],
+        k: usize,
+    ) -> Result<Block, SkqError> {
+        failpoints::check("dynamic::build_block")?;
         let dataset =
-            Dataset::from_parts(pool.iter().map(|(p, kws, _)| (*p, kws.clone())).collect());
-        Block {
-            index: OrpKwIndex::build(&dataset, k),
+            Dataset::try_from_parts(pool.iter().map(|(p, kws, _)| (*p, kws.clone())).collect())?;
+        Ok(Block {
+            index: OrpKwIndex::try_build(&dataset, k)?,
             handles: pool.iter().map(|&(_, _, h)| h).collect(),
             source: pool.to_vec(),
-        }
+        })
     }
 
     /// Reports the handles of live objects in `q` whose documents
@@ -222,6 +324,30 @@ impl DynamicOrpKw {
         keywords: &[Keyword],
         limit: usize,
     ) -> (Vec<ObjectHandle>, QueryStats) {
+        self.query_impl(q, keywords, limit, &QueryGuard::default())
+    }
+
+    /// Guarded query: like [`query_with_stats`](Self::query_with_stats)
+    /// but subject to `guard`'s deadline, cancellation token, and
+    /// result budget. When the guard trips, the partial results
+    /// gathered so far are returned and
+    /// `QueryStats::truncated_reason` records why.
+    pub fn query_guarded(
+        &self,
+        q: &Rect,
+        keywords: &[Keyword],
+        guard: &QueryGuard,
+    ) -> (Vec<ObjectHandle>, QueryStats) {
+        self.query_impl(q, keywords, usize::MAX, guard)
+    }
+
+    fn query_impl(
+        &self,
+        q: &Rect,
+        keywords: &[Keyword],
+        limit: usize,
+        guard: &QueryGuard,
+    ) -> (Vec<ObjectHandle>, QueryStats) {
         assert_eq!(q.dim(), self.dim, "query dimension mismatch");
         let span = skq_obs::Span::enter("orp.dynamic_query");
         let mut kws = keywords.to_vec();
@@ -231,42 +357,88 @@ impl DynamicOrpKw {
         let mut out = Vec::new();
         let mut stats = QueryStats::new();
         let mut truncated = false;
+        let mut reason: Option<TruncatedReason> = None;
         for block in self.blocks.iter().flatten() {
+            // The guard is also consulted per emission inside the
+            // traversal; this boundary check catches deadlines that
+            // expire inside match-free subtrees.
+            if let Err(e) = guard.check() {
+                reason = reason.or(Some(Self::trip(&e)));
+                break;
+            }
             let mut s = QueryStats::new();
-            let mut sink = HandleSink {
+            let mut handle_sink = HandleSink {
                 handles: &block.handles,
                 live: &self.live_set,
                 out: &mut out,
                 limit,
                 hit_limit: false,
             };
-            let flow = block.index.query_sink(q, &kws, &mut sink, &mut s);
-            truncated |= sink.hit_limit;
+            let (flow, sink_reason) = {
+                let mut sink = GuardedSink::new(&mut handle_sink, guard);
+                let flow = block.index.query_sink(q, &kws, &mut sink, &mut s);
+                (flow, sink.truncated_reason())
+            };
+            reason = reason.or(sink_reason);
+            truncated |= handle_sink.hit_limit;
             stats.absorb(&s);
             if flow.is_break() {
                 break;
             }
         }
-        if !truncated {
-            for (p, doc_kws, h) in &self.buffer {
-                stats.pivot_scans += 1;
-                if self.live_set.contains_key(&h.0)
-                    && q.contains(p)
-                    && kws.iter().all(|w| doc_kws.contains(w))
-                {
-                    if out.len() >= limit {
-                        truncated = true;
-                        break;
+        if !truncated && reason.is_none() {
+            match guard.check() {
+                Err(e) => reason = Some(Self::trip(&e)),
+                Ok(()) => {
+                    let budget = guard.max_results().unwrap_or(u64::MAX);
+                    for (p, doc_kws, h) in &self.buffer {
+                        stats.pivot_scans += 1;
+                        if self.live_set.contains_key(&h.0)
+                            && q.contains(p)
+                            && kws.iter().all(|w| doc_kws.contains(w))
+                        {
+                            if out.len() >= limit {
+                                truncated = true;
+                                break;
+                            }
+                            if out.len() as u64 >= budget {
+                                reason = Some(TruncatedReason::Limit);
+                                break;
+                            }
+                            stats.reported += 1;
+                            out.push(*h);
+                        }
                     }
-                    stats.reported += 1;
-                    out.push(*h);
                 }
             }
         }
         stats.emitted = out.len() as u64;
-        stats.truncated |= truncated;
+        stats.truncated |= truncated || reason.is_some();
+        stats.truncated_reason = reason.or(if truncated {
+            Some(TruncatedReason::Limit)
+        } else {
+            None
+        });
         telemetry::record_query("orp_dynamic", self.k, &stats, span.elapsed());
         (out, stats)
+    }
+
+    /// Maps a guard trip to its truncation reason, bumping the matching
+    /// counter (mirrors `GuardedSink`'s accounting for trips that are
+    /// detected at block boundaries rather than per emission).
+    fn trip(e: &SkqError) -> TruncatedReason {
+        match e {
+            SkqError::Cancelled => {
+                skq_obs::global().counter("skq_query_cancelled", &[]).inc();
+                TruncatedReason::Cancelled
+            }
+            _ => {
+                skq_obs::global()
+                    .counter("skq_query_deadline_exceeded", &[])
+                    .inc();
+                TruncatedReason::DeadlineExceeded
+            }
+        }
     }
 
     /// Number of static blocks currently alive (the `O(log n)` factor).
@@ -327,6 +499,8 @@ impl ResultSink for HandleSink<'_> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
+
     use super::*;
     use rand::{rngs::StdRng, Rng, SeedableRng};
     use std::collections::HashMap;
@@ -448,6 +622,77 @@ mod tests {
         assert!(!idx.delete(h));
         assert!(idx.is_empty());
         assert!(idx.query(&Rect::full(1), &[0, 1]).is_empty());
+    }
+
+    #[test]
+    fn duplicate_id_insertion_rejected() {
+        let mut idx = DynamicOrpKw::new(2, 2);
+        let a = idx
+            .try_insert_with_id(5, Point::new2(1.0, 1.0), vec![0, 1])
+            .unwrap();
+        assert_eq!(a, ObjectHandle(5));
+        // Any id at or below the allocation watermark is a duplicate.
+        for dup in [0, 4, 5] {
+            assert!(matches!(
+                idx.try_insert_with_id(dup, Point::new2(2.0, 2.0), vec![0, 1]),
+                Err(SkqError::InvalidQuery(_))
+            ));
+        }
+        // The failed inserts left no trace.
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.query(&Rect::full(2), &[0, 1]), vec![a]);
+        // Fresh ids still work, and plain inserts continue above them.
+        let b = idx
+            .try_insert_with_id(9, Point::new2(3.0, 3.0), vec![0, 1])
+            .unwrap();
+        assert_eq!(b, ObjectHandle(9));
+        let c = idx.insert(Point::new2(4.0, 4.0), vec![0, 1]);
+        assert_eq!(c, ObjectHandle(10));
+    }
+
+    #[test]
+    fn try_insert_validates_input() {
+        let mut idx = DynamicOrpKw::new(2, 2);
+        assert!(matches!(
+            idx.try_insert(Point::new1(0.0), vec![0]),
+            Err(SkqError::InvalidDataset(_))
+        ));
+        assert!(matches!(
+            idx.try_insert(Point::new2(0.0, 0.0), vec![]),
+            Err(SkqError::InvalidDataset(_))
+        ));
+        assert!(matches!(
+            idx.try_insert(Point::new2(f64::NAN, 0.0), vec![0]),
+            Err(SkqError::InvalidDataset(_))
+        ));
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn guarded_query_respects_budget_and_cancel() {
+        use crate::guard::{CancelToken, QueryGuard};
+        use crate::stats::TruncatedReason;
+        let mut idx = DynamicOrpKw::new(2, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..500 {
+            let p = Point::new2(rng.gen_range(0..30) as f64, rng.gen_range(0..30) as f64);
+            idx.insert(p, vec![rng.gen_range(0..3), 3]);
+        }
+        let q = Rect::full(2);
+        let full = idx.query(&q, &[0, 3]);
+        assert!(full.len() > 5);
+        let guard = QueryGuard::new().with_max_results(5);
+        let (limited, stats) = idx.query_guarded(&q, &[0, 3], &guard);
+        assert_eq!(limited.len(), 5);
+        assert_eq!(stats.truncated_reason, Some(TruncatedReason::Limit));
+        assert!(limited.iter().all(|h| full.contains(h)));
+        // A pre-cancelled token yields no results, with the reason set.
+        let token = CancelToken::new();
+        token.cancel();
+        let guard = QueryGuard::new().with_cancel(token);
+        let (cancelled, stats) = idx.query_guarded(&q, &[0, 3], &guard);
+        assert!(cancelled.is_empty());
+        assert_eq!(stats.truncated_reason, Some(TruncatedReason::Cancelled));
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Typed errors for the fallible construction and query surfaces.
+//!
+//! Every `try_build` / `try_query_into` entry point in this crate
+//! returns [`SkqError`]. The legacy infallible APIs (`build`, `query`,
+//! …) are thin wrappers that panic with the error's `Display` text, so
+//! the two surfaces always agree on *what* is invalid — the only
+//! difference is how the violation is delivered.
+
+use std::fmt;
+
+/// The error type shared by every fallible surface in `skq-core`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SkqError {
+    /// The dataset violates a construction invariant: empty input,
+    /// inconsistent dimensions, non-finite coordinates, or an object
+    /// with an empty keyword set.
+    InvalidDataset(String),
+    /// The query is malformed for the target index: wrong
+    /// dimensionality, wrong number of distinct keywords, NaN
+    /// coordinates, or an out-of-domain parameter.
+    InvalidQuery(String),
+    /// An index build was rejected because it exceeded its space
+    /// budget (see `FrameworkConfig::max_space_words` and the
+    /// `try_build_with_budget` constructors).
+    BuildBudgetExceeded {
+        /// The configured budget, in words.
+        budget: usize,
+        /// The space the index would have occupied, in words.
+        needed: usize,
+    },
+    /// A guarded query ran past its deadline; the sink holds the
+    /// partial results emitted before the guard tripped.
+    DeadlineExceeded,
+    /// A guarded query observed its `CancelToken` in the cancelled
+    /// state; the sink holds the partial results.
+    Cancelled,
+    /// A batch shard panicked and its bounded retry panicked again.
+    ShardPanicked {
+        /// Zero-based index of the failed shard.
+        shard: usize,
+    },
+    /// An internal invariant violation or an injected fail point.
+    Internal(String),
+}
+
+impl SkqError {
+    /// Short machine-friendly label for the variant (used as a metric
+    /// label and in the query log).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SkqError::InvalidDataset(_) => "invalid_dataset",
+            SkqError::InvalidQuery(_) => "invalid_query",
+            SkqError::BuildBudgetExceeded { .. } => "build_budget_exceeded",
+            SkqError::DeadlineExceeded => "deadline_exceeded",
+            SkqError::Cancelled => "cancelled",
+            SkqError::ShardPanicked { .. } => "shard_panicked",
+            SkqError::Internal(_) => "internal",
+        }
+    }
+}
+
+impl fmt::Display for SkqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // The message alone: the infallible wrappers panic with
+            // `{self}` and existing callers match on these substrings.
+            SkqError::InvalidDataset(msg) => f.write_str(msg),
+            SkqError::InvalidQuery(msg) => f.write_str(msg),
+            SkqError::BuildBudgetExceeded { budget, needed } => write!(
+                f,
+                "index build exceeds its space budget: needs {needed} words, budget is {budget}"
+            ),
+            SkqError::DeadlineExceeded => f.write_str("query deadline exceeded"),
+            SkqError::Cancelled => f.write_str("query cancelled"),
+            SkqError::ShardPanicked { shard } => {
+                write!(f, "batch shard {shard} panicked (retry also failed)")
+            }
+            SkqError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SkqError {}
+
+/// Shared query-validation helpers for the `try_query_into` surfaces.
+pub(crate) mod validate {
+    use super::SkqError;
+    use skq_geom::{ConvexPolytope, Point, Rect};
+
+    /// The build-time `k` range every framework-backed index accepts.
+    pub fn build_k(k: usize) -> Result<(), SkqError> {
+        if k < 2 {
+            return Err(SkqError::InvalidQuery(
+                "the framework requires k >= 2 query keywords".into(),
+            ));
+        }
+        if k > 16 {
+            return Err(SkqError::InvalidQuery(
+                "k > 16 keywords is unsupported (and pointless: the bound degrades to O(N))".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Exactly `k` distinct keywords (the framework's query contract).
+    pub fn distinct_keywords(keywords: &[u32], k: usize) -> Result<(), SkqError> {
+        let mut kws = keywords.to_vec();
+        kws.sort_unstable();
+        kws.dedup();
+        if kws.len() != k {
+            return Err(SkqError::InvalidQuery(format!(
+                "the index was built for exactly {k} distinct keywords, got {}",
+                kws.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Dimension match and NaN-free bounds (±∞ is a legitimate open
+    /// side — `Rect::full` is a common query).
+    pub fn rect_query(q: &Rect, dim: usize) -> Result<(), SkqError> {
+        if q.dim() != dim {
+            return Err(SkqError::InvalidQuery(format!(
+                "query dimension mismatch: rect is {}-dimensional, index is {dim}-dimensional",
+                q.dim()
+            )));
+        }
+        for i in 0..dim {
+            if q.lo(i).is_nan() || q.hi(i).is_nan() {
+                return Err(SkqError::InvalidQuery(format!(
+                    "query rectangle has a NaN bound in dimension {i}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Dimension match and NaN-free coefficients for a halfspace
+    /// conjunction (an empty polytope — no constraints — is valid and
+    /// means "unconstrained").
+    pub fn polytope_query(q: &ConvexPolytope, dim: usize) -> Result<(), SkqError> {
+        if let Some(d) = q.dim() {
+            if d != dim {
+                return Err(SkqError::InvalidQuery(format!(
+                    "query dimension mismatch: constraints are {d}-dimensional, index is {dim}-dimensional"
+                )));
+            }
+        }
+        for (i, h) in q.halfspaces().iter().enumerate() {
+            if h.bound().is_nan() || h.coeffs().iter().any(|c| c.is_nan()) {
+                return Err(SkqError::InvalidQuery(format!(
+                    "constraint {i} has a NaN coefficient or bound"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Dimension match and fully finite coordinates (query points may
+    /// not be at infinity — distances would be meaningless).
+    pub fn point_query(p: &Point, dim: usize) -> Result<(), SkqError> {
+        if p.dim() != dim {
+            return Err(SkqError::InvalidQuery(format!(
+                "query dimension mismatch: point is {}-dimensional, index is {dim}-dimensional",
+                p.dim()
+            )));
+        }
+        for i in 0..dim {
+            if !p.get(i).is_finite() {
+                return Err(SkqError::InvalidQuery(format!(
+                    "query point has a non-finite coordinate in dimension {i}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_preserves_validation_text() {
+        let e = SkqError::InvalidDataset("a dataset needs a non-empty set of objects".into());
+        assert_eq!(format!("{e}"), "a dataset needs a non-empty set of objects");
+        assert_eq!(e.kind(), "invalid_dataset");
+    }
+
+    #[test]
+    fn budget_display_mentions_both_sides() {
+        let e = SkqError::BuildBudgetExceeded {
+            budget: 10,
+            needed: 25,
+        };
+        let s = format!("{e}");
+        assert!(s.contains("10") && s.contains("25"), "{s}");
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(SkqError::DeadlineExceeded);
+        assert_eq!(e.to_string(), "query deadline exceeded");
+    }
+}

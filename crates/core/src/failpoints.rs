@@ -1,0 +1,159 @@
+//! Fail-point injection for chaos testing (cargo feature `failpoints`).
+//!
+//! A fail point is a named site on a build or batch path where a test
+//! can inject a failure. With the feature disabled (the default) every
+//! [`check`] compiles to `Ok(())` and the registry does not exist, so
+//! production builds pay nothing. The registry is a tiny std-only map
+//! — no external crate, consistent with the workspace's zero-dep
+//! observability gate.
+//!
+//! ```ignore
+//! // Only with `--features failpoints`:
+//! skq_core::failpoints::inject("orp::build", FailAction::Err, None);
+//! assert!(OrpKwIndex::try_build(&dataset, 2).is_err());
+//! skq_core::failpoints::clear();
+//! ```
+
+use crate::error::SkqError;
+
+/// Every registered injection site, for exhaustive chaos sweeps.
+///
+/// Each site sits on exactly one build (or shard) path; the chaos test
+/// drives the matching public entry point for each name.
+pub const SITES: &[&str] = &[
+    "orp::build",
+    "rr::build",
+    "nn_linf::build",
+    "nn_l2::build",
+    "lc::build",
+    "sp::build",
+    "srp::build",
+    "ksi::build",
+    "framework::build",
+    "dynamic::build_block",
+    "batch::shard",
+];
+
+/// What an armed fail point does when hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailAction {
+    /// Return `Err(SkqError::Internal("fail point <site> triggered"))`.
+    Err,
+    /// Panic with `"fail point <site> triggered"` — exercises the
+    /// panic-isolation machinery (batch shards).
+    Panic,
+}
+
+/// Evaluates the named fail point.
+///
+/// Returns `Err` (or panics) if a test armed the site via `inject`
+/// (available with the `failpoints` feature);
+/// otherwise — and always, when the `failpoints` feature is off —
+/// returns `Ok(())`.
+#[inline]
+pub fn check(site: &'static str) -> Result<(), SkqError> {
+    #[cfg(feature = "failpoints")]
+    {
+        imp::check(site)
+    }
+    #[cfg(not(feature = "failpoints"))]
+    {
+        let _ = site;
+        Ok(())
+    }
+}
+
+/// Arms a fail point. `times` bounds how many hits fire (`None` =
+/// every hit until [`clear`]). Re-injecting a site replaces its entry.
+#[cfg(feature = "failpoints")]
+pub fn inject(site: &str, action: FailAction, times: Option<usize>) {
+    imp::inject(site, action, times);
+}
+
+/// Disarms every fail point.
+#[cfg(feature = "failpoints")]
+pub fn clear() {
+    imp::clear();
+}
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use super::{FailAction, SkqError};
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    struct Entry {
+        action: FailAction,
+        remaining: Option<usize>,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<String, Entry>> {
+        static REGISTRY: std::sync::OnceLock<Mutex<HashMap<String, Entry>>> =
+            std::sync::OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    pub fn inject(site: &str, action: FailAction, times: Option<usize>) {
+        registry()
+            .lock()
+            .expect("fail-point registry poisoned")
+            .insert(
+                site.to_string(),
+                Entry {
+                    action,
+                    remaining: times,
+                },
+            );
+    }
+
+    pub fn clear() {
+        registry()
+            .lock()
+            .expect("fail-point registry poisoned")
+            .clear();
+    }
+
+    pub fn check(site: &'static str) -> Result<(), SkqError> {
+        let action = {
+            let mut map = registry().lock().expect("fail-point registry poisoned");
+            match map.get_mut(site) {
+                None => return Ok(()),
+                Some(entry) => match entry.remaining {
+                    Some(0) => return Ok(()),
+                    Some(ref mut n) => {
+                        *n -= 1;
+                        entry.action
+                    }
+                    None => entry.action,
+                },
+            }
+            // The lock is dropped here, before we act: a panicking fail
+            // point must not poison the registry.
+        };
+        match action {
+            FailAction::Err => Err(SkqError::Internal(format!("fail point {site} triggered"))),
+            FailAction::Panic => panic!("fail point {site} triggered"),
+        }
+    }
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+
+    // Distinct site names per test: the registry is process-global and
+    // the test harness runs these in parallel.
+
+    #[test]
+    fn unarmed_site_is_ok() {
+        assert!(check("test::unarmed").is_ok());
+    }
+
+    #[test]
+    fn bounded_injection_fires_n_times() {
+        inject("test::bounded", FailAction::Err, Some(2));
+        assert!(check("test::bounded").is_err());
+        assert!(check("test::bounded").is_err());
+        assert!(check("test::bounded").is_ok());
+    }
+}

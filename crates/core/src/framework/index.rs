@@ -5,6 +5,8 @@ use std::ops::ControlFlow;
 use skq_geom::Region;
 use skq_invidx::{Document, Keyword};
 
+use crate::error::SkqError;
+use crate::failpoints;
 use crate::fastmap::FxHashMap;
 use crate::sink::{LimitSink, ResultSink};
 use crate::stats::QueryStats;
@@ -74,14 +76,43 @@ impl<P: Partitioner> TransformedIndex<P> {
     ///
     /// # Panics
     ///
-    /// Panics if `k < 2` (the paper fixes `k ≥ 2`) or `docs` is empty.
+    /// Panics with the [`try_build`](Self::try_build) error message if
+    /// `k < 2` (the paper fixes `k ≥ 2`) or `docs` is empty.
     pub fn build(partitioner: P, docs: Vec<Document>, k: usize, config: FrameworkConfig) -> Self {
-        assert!(k >= 2, "the framework requires k >= 2 query keywords");
-        assert!(
-            k <= 16,
-            "k > 16 keywords is unsupported (and pointless: the bound degrades to O(N))"
-        );
-        assert!(!docs.is_empty(), "cannot index an empty dataset");
+        Self::try_build(partitioner, docs, k, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`build`](Self::build): validates the parameters and
+    /// returns `Err` instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidQuery` if `k < 2` or `k > 16`;
+    /// `SkqError::InvalidDataset` if `docs` is empty. (With the
+    /// `failpoints` feature, an armed `framework::build` site also
+    /// fails here.)
+    pub fn try_build(
+        partitioner: P,
+        docs: Vec<Document>,
+        k: usize,
+        config: FrameworkConfig,
+    ) -> Result<Self, SkqError> {
+        if k < 2 {
+            return Err(SkqError::InvalidQuery(
+                "the framework requires k >= 2 query keywords".into(),
+            ));
+        }
+        if k > 16 {
+            return Err(SkqError::InvalidQuery(
+                "k > 16 keywords is unsupported (and pointless: the bound degrades to O(N))".into(),
+            ));
+        }
+        if docs.is_empty() {
+            return Err(SkqError::InvalidDataset(
+                "cannot index an empty dataset".into(),
+            ));
+        }
+        failpoints::check("framework::build")?;
         let all: Vec<u32> = (0..docs.len() as u32).collect();
         let total_weight = partitioner.total_weight(&all);
         let mut index = Self {
@@ -106,7 +137,7 @@ impl<P: Partitioner> TransformedIndex<P> {
             ws
         };
         index.build_node(root_cell, all, 0, &candidates);
-        index
+        Ok(index)
     }
 
     /// Recursively builds the subtree over `objects`; returns the node id.

@@ -19,6 +19,8 @@ use std::ops::ControlFlow;
 use skq_geom::{Point, Region};
 use skq_invidx::{Document, Keyword};
 
+use crate::error::{validate, SkqError};
+use crate::failpoints;
 use crate::framework::{FrameworkConfig, KdPartitioner, TransformedIndex};
 use crate::sink::{CountSink, LimitSink, ResultSink};
 use crate::stats::QueryStats;
@@ -48,13 +50,29 @@ impl KsiIndex {
     ///
     /// Panics if `docs` is empty or `k < 2`.
     pub fn build(docs: &[Document], k: usize) -> Self {
-        assert!(!docs.is_empty());
+        Self::try_build(docs, k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`build`](Self::build).
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidDataset` if `docs` is empty;
+    /// `SkqError::InvalidQuery` if `k` is outside `2..=16`.
+    pub fn try_build(docs: &[Document], k: usize) -> Result<Self, SkqError> {
+        validate::build_k(k)?;
+        failpoints::check("ksi::build")?;
+        if docs.is_empty() {
+            return Err(SkqError::InvalidDataset(
+                "cannot index an empty set family".into(),
+            ));
+        }
         let points: Vec<Point> = (0..docs.len()).map(|i| Point::new1(i as f64)).collect();
         let weights: Vec<u64> = docs.iter().map(|d| d.len() as u64).collect();
         let partitioner = KdPartitioner::new(points, weights);
         let tree =
-            TransformedIndex::build(partitioner, docs.to_vec(), k, FrameworkConfig::default());
-        Self { tree }
+            TransformedIndex::try_build(partitioner, docs.to_vec(), k, FrameworkConfig::default())?;
+        Ok(Self { tree })
     }
 
     /// Builds from explicit sets `S₁, …, S_m` over elements `0..n` —
@@ -109,6 +127,26 @@ impl KsiIndex {
     ) -> ControlFlow<()> {
         self.tree
             .query_sink(keywords, &|_| Region::Covered, &|_| true, sink, stats)
+    }
+
+    /// Fallible intersection: validates the keyword set, then appends
+    /// `⋂ᵢ S_{wᵢ}` to `out`.
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidQuery` if the keyword set is not exactly `k`
+    /// distinct keywords.
+    pub fn try_query_into(
+        &self,
+        keywords: &[Keyword],
+        out: &mut Vec<u32>,
+    ) -> Result<QueryStats, SkqError> {
+        validate::distinct_keywords(keywords, self.k())?;
+        let mut stats = QueryStats::new();
+        let before = out.len();
+        let _ = self.intersect_sink(keywords, out, &mut stats);
+        stats.emitted = (out.len() - before) as u64;
+        Ok(stats)
     }
 
     /// An emptiness query: whether `⋂ᵢ S_{wᵢ} = ∅`
@@ -217,6 +255,33 @@ mod tests {
         assert_eq!(got, vec![2, 3]);
         assert!(!ksi.intersection_is_empty(&[0, 2]));
         assert_eq!(ksi.intersect(&[0, 2]), vec![2]);
+    }
+
+    #[test]
+    fn try_surfaces_round_trip_and_validate() {
+        let docs = random_docs(200, 8, 41);
+        let ksi = KsiIndex::try_build(&docs, 2).unwrap();
+        let legacy = KsiIndex::build(&docs, 2);
+        let mut out = Vec::new();
+        let stats = ksi.try_query_into(&[0, 1], &mut out).unwrap();
+        let mut expected = legacy.intersect(&[0, 1]);
+        out.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(out, expected);
+        assert_eq!(stats.emitted, out.len() as u64);
+        assert!(matches!(
+            KsiIndex::try_build(&[], 2),
+            Err(SkqError::InvalidDataset(_))
+        ));
+        assert!(matches!(
+            KsiIndex::try_build(&docs, 1),
+            Err(SkqError::InvalidQuery(_))
+        ));
+        let mut scratch = Vec::new();
+        assert!(matches!(
+            ksi.try_query_into(&[0, 0], &mut scratch),
+            Err(SkqError::InvalidQuery(_))
+        ));
     }
 
     #[test]

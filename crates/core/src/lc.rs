@@ -20,6 +20,8 @@ use skq_geom::{ConvexPolytope, Halfspace, Rect};
 use skq_invidx::Keyword;
 
 use crate::dataset::Dataset;
+use crate::error::SkqError;
+use crate::failpoints;
 use crate::sink::ResultSink;
 use crate::sp::{SpKwIndex, SpStrategy};
 use crate::stats::QueryStats;
@@ -32,9 +34,38 @@ pub struct LcKwIndex {
 impl LcKwIndex {
     /// Builds the index for exactly-`k`-keyword queries.
     pub fn build(dataset: &Dataset, k: usize) -> Self {
-        Self {
-            sp: SpKwIndex::build(dataset, k),
-        }
+        Self::try_build(dataset, k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`build`](Self::build).
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidQuery` if `k` is outside `2..=16`.
+    pub fn try_build(dataset: &Dataset, k: usize) -> Result<Self, SkqError> {
+        failpoints::check("lc::build")?;
+        Ok(Self {
+            sp: SpKwIndex::try_build(dataset, k)?,
+        })
+    }
+
+    /// Fallible [`build`](Self::build) with a space-admission budget
+    /// (see [`SpKwIndex::try_build_with_budget`]). The planner uses
+    /// this as the linear-space middle tier of its degradation ladder.
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::BuildBudgetExceeded` when the finished index is over
+    /// budget; otherwise the [`try_build`](Self::try_build) conditions.
+    pub fn try_build_with_budget(
+        dataset: &Dataset,
+        k: usize,
+        max_space_words: Option<usize>,
+    ) -> Result<Self, SkqError> {
+        failpoints::check("lc::build")?;
+        Ok(Self {
+            sp: SpKwIndex::try_build_with_budget(dataset, k, max_space_words)?,
+        })
     }
 
     /// Builds with an explicit partition strategy.
@@ -64,6 +95,24 @@ impl LcKwIndex {
     ) -> (Vec<u32>, QueryStats) {
         self.sp
             .query_with_stats(&ConvexPolytope::new(constraints.to_vec()), keywords)
+    }
+
+    /// Fallible query: validates the constraints and keyword set, then
+    /// appends matching ids to `out`.
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidQuery` on a dimension mismatch, NaN
+    /// coefficients, or a keyword set that is not exactly `k` distinct
+    /// keywords.
+    pub fn try_query_into(
+        &self,
+        constraints: &[Halfspace],
+        keywords: &[Keyword],
+        out: &mut Vec<u32>,
+    ) -> Result<QueryStats, SkqError> {
+        self.sp
+            .try_query_into(&ConvexPolytope::new(constraints.to_vec()), keywords, out)
     }
 
     /// ORP-KW through LC-KW: a `d`-rectangle is the conjunction of `2d`
@@ -185,6 +234,45 @@ mod tests {
             b.sort_unstable();
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn try_surfaces_round_trip() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let dataset = Dataset::from_parts(
+            (0..150)
+                .map(|_| {
+                    let p = Point::new2(rng.gen_range(-20.0..20.0), rng.gen_range(-20.0..20.0));
+                    let doc: Vec<Keyword> = (0..rng.gen_range(1..4))
+                        .map(|_| rng.gen_range(0..6))
+                        .collect();
+                    (p, doc)
+                })
+                .collect(),
+        );
+        let index = LcKwIndex::try_build(&dataset, 2).unwrap();
+        let legacy = LcKwIndex::build(&dataset, 2);
+        let cs = [Halfspace::new(&[1.0, 1.0], 5.0)];
+        let mut out = Vec::new();
+        index.try_query_into(&cs, &[0, 1], &mut out).unwrap();
+        let mut expected = legacy.query(&cs, &[0, 1]);
+        out.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(out, expected);
+        // Validation surfaces.
+        assert!(matches!(
+            LcKwIndex::try_build(&dataset, 1),
+            Err(SkqError::InvalidQuery(_))
+        ));
+        let mut scratch = Vec::new();
+        assert!(matches!(
+            index.try_query_into(&cs, &[0, 0], &mut scratch),
+            Err(SkqError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            LcKwIndex::try_build_with_budget(&dataset, 2, Some(1)),
+            Err(SkqError::BuildBudgetExceeded { .. })
+        ));
     }
 
     #[test]

@@ -39,6 +39,10 @@
 //!   (covered/crossing nodes of §3.3, type-1/type-2 nodes of §4).
 //! * [`telemetry`] — export hooks feeding build/query/planner series
 //!   into the process-wide `skq-obs` metrics registry and query log.
+//! * [`error`] / [`guard`] / [`failpoints`] — the robustness layer
+//!   (DESIGN.md §11): typed errors for the fallible
+//!   `try_build`/`try_query_into` surfaces, deadline/cancellation/
+//!   budget guards for queries, and chaos-test fail-point injection.
 //!
 //! # Example
 //!
@@ -66,26 +70,38 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+// The orchestration layers sit on every request path of the ROADMAP's
+// service story, so they must not abort on recoverable conditions:
+// clippy.toml bans `unwrap()`/`expect()` in them (tests re-allow).
+#[warn(clippy::disallowed_methods)]
 pub mod batch;
 pub mod dataset;
 pub mod dimred;
+#[warn(clippy::disallowed_methods)]
 pub mod dynamic;
+pub mod error;
+pub mod failpoints;
 pub mod fastmap;
 pub mod framework;
+pub mod guard;
 pub mod ksi;
 pub mod lc;
 pub mod naive;
 pub mod nn_l2;
 pub mod nn_linf;
 pub mod orp;
+#[warn(clippy::disallowed_methods)]
 pub mod planner;
 pub mod rr;
 pub mod sink;
 pub mod sp;
 pub mod srp;
 pub mod stats;
+#[warn(clippy::disallowed_methods)]
 pub mod suite;
 pub mod telemetry;
 
 pub use dataset::Dataset;
-pub use stats::QueryStats;
+pub use error::SkqError;
+pub use guard::{CancelToken, GuardedSink, QueryGuard};
+pub use stats::{QueryStats, TruncatedReason};

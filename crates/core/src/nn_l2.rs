@@ -12,6 +12,8 @@ use skq_geom::Point;
 use skq_invidx::Keyword;
 
 use crate::dataset::Dataset;
+use crate::error::{validate, SkqError};
+use crate::failpoints;
 use crate::sink::{CountSink, LimitSink, ResultSink};
 use crate::srp::SrpKwIndex;
 use crate::stats::QueryStats;
@@ -51,12 +53,25 @@ impl L2NnIndex {
     /// `f64` (the paper's model: coordinates are `O(log N)`-bit
     /// integers).
     pub fn build(dataset: &Dataset, k: usize) -> Self {
+        Self::try_build(dataset, k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`build`](Self::build).
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidDataset` on non-integer or oversized
+    /// coordinates; `SkqError::InvalidQuery` if `k` is outside `2..=16`.
+    pub fn try_build(dataset: &Dataset, k: usize) -> Result<Self, SkqError> {
+        validate::build_k(k)?;
+        failpoints::check("nn_l2::build")?;
         for p in dataset.points() {
             for &c in p.coords() {
-                assert!(
-                    c.fract() == 0.0 && c.abs() <= (1 << 25) as f64,
-                    "L2NN-KW requires integer coordinates with |c| <= 2^25, got {c}"
-                );
+                if c.fract() != 0.0 || c.abs() > (1 << 25) as f64 {
+                    return Err(SkqError::InvalidDataset(format!(
+                        "L2NN-KW requires integer coordinates with |c| <= 2^25, got {c}"
+                    )));
+                }
             }
         }
         let dim = dataset.dim();
@@ -75,12 +90,12 @@ impl L2NnIndex {
                 (lo, hi)
             })
             .collect();
-        Self {
-            srp: SrpKwIndex::build(dataset, k),
+        Ok(Self {
+            srp: SrpKwIndex::try_build(dataset, k)?,
             points: dataset.points().to_vec(),
             extremes,
             dim,
-        }
+        })
     }
 
     /// The number of query keywords the index was built for.
@@ -162,6 +177,36 @@ impl L2NnIndex {
         let out = self.rank_by_distance(q, hits, t);
         stats.emitted = out.len() as u64;
         (out, stats)
+    }
+
+    /// Fallible query: validates the query point and keyword set, then
+    /// appends the `t` nearest matching ids to `out` in `(distance,
+    /// id)` order.
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidQuery` on a dimension mismatch, non-integer or
+    /// oversized query coordinates, or a keyword set that is not
+    /// exactly `k` distinct keywords.
+    pub fn try_query_into(
+        &self,
+        q: &Point,
+        t: usize,
+        keywords: &[Keyword],
+        out: &mut Vec<u32>,
+    ) -> Result<QueryStats, SkqError> {
+        validate::point_query(q, self.dim)?;
+        for &c in q.coords() {
+            if c.fract() != 0.0 || c.abs() > (1 << 25) as f64 {
+                return Err(SkqError::InvalidQuery(format!(
+                    "query coordinates must be integers with |c| <= 2^25, got {c}"
+                )));
+            }
+        }
+        validate::distinct_keywords(keywords, self.k())?;
+        let (ids, stats) = self.query_with_stats(q, t, keywords);
+        out.extend(ids);
+        Ok(stats)
     }
 
     /// "Are there at least `t` matches within squared radius `r²`?" —
@@ -307,5 +352,31 @@ mod tests {
     fn non_integer_coordinates_rejected() {
         let dataset = Dataset::from_parts(vec![(Point::new2(0.5, 0.0), vec![0, 1])]);
         let _ = L2NnIndex::build(&dataset, 2);
+    }
+
+    #[test]
+    fn try_surfaces_round_trip_and_validate() {
+        let dataset = integer_dataset(120, 2, 6, 31);
+        let index = L2NnIndex::try_build(&dataset, 2).unwrap();
+        let legacy = L2NnIndex::build(&dataset, 2);
+        let q = Point::new2(5.0, -7.0);
+        let mut out = Vec::new();
+        index.try_query_into(&q, 4, &[0, 1], &mut out).unwrap();
+        assert_eq!(out, legacy.query(&q, 4, &[0, 1]));
+        // Validation surfaces.
+        let bad = Dataset::from_parts(vec![(Point::new2(0.5, 0.0), vec![0, 1])]);
+        assert!(matches!(
+            L2NnIndex::try_build(&bad, 2),
+            Err(SkqError::InvalidDataset(_))
+        ));
+        let mut scratch = Vec::new();
+        assert!(matches!(
+            index.try_query_into(&Point::new2(0.5, 0.0), 1, &[0, 1], &mut scratch),
+            Err(SkqError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            index.try_query_into(&q, 1, &[0, 1, 2], &mut scratch),
+            Err(SkqError::InvalidQuery(_))
+        ));
     }
 }

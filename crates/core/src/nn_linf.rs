@@ -15,6 +15,8 @@ use skq_geom::{Point, Rect};
 use skq_invidx::Keyword;
 
 use crate::dataset::Dataset;
+use crate::error::{validate, SkqError};
+use crate::failpoints;
 use crate::lc::LcKwIndex;
 use crate::orp::OrpKwIndex;
 use crate::sink::{CountSink, LimitSink, ResultSink};
@@ -99,13 +101,39 @@ impl LinfNnIndex {
     /// Builds the index for exactly-`k`-keyword queries (ORP-KW
     /// threshold engine — Corollary 4 as stated).
     pub fn build(dataset: &Dataset, k: usize) -> Self {
-        Self::build_inner(dataset, RectEngine::Orp(OrpKwIndex::build(dataset, k)))
+        Self::try_build(dataset, k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`build`](Self::build).
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidQuery` if `k` is outside `2..=16`.
+    pub fn try_build(dataset: &Dataset, k: usize) -> Result<Self, SkqError> {
+        failpoints::check("nn_linf::build")?;
+        Ok(Self::build_inner(
+            dataset,
+            RectEngine::Orp(OrpKwIndex::try_build(dataset, k)?),
+        ))
     }
 
     /// The linear-space variant of footnote 3: LC-KW threshold engine,
     /// `O(N)` space in any dimension at the cost of a `log N` factor.
     pub fn build_linear(dataset: &Dataset, k: usize) -> Self {
-        Self::build_inner(dataset, RectEngine::Lc(LcKwIndex::build(dataset, k)))
+        Self::try_build_linear(dataset, k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`build_linear`](Self::build_linear).
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidQuery` if `k` is outside `2..=16`.
+    pub fn try_build_linear(dataset: &Dataset, k: usize) -> Result<Self, SkqError> {
+        failpoints::check("nn_linf::build")?;
+        Ok(Self::build_inner(
+            dataset,
+            RectEngine::Lc(LcKwIndex::try_build(dataset, k)?),
+        ))
     }
 
     fn build_inner(dataset: &Dataset, engine: RectEngine) -> Self {
@@ -223,6 +251,29 @@ impl LinfNnIndex {
         let out = self.rank_by_distance(q, hits, t);
         stats.emitted = out.len() as u64;
         (out, stats)
+    }
+
+    /// Fallible query: validates the query point and keyword set, then
+    /// appends the `t` nearest matching ids to `out` in `(distance,
+    /// id)` order.
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidQuery` on a dimension mismatch, a non-finite
+    /// query point, or a keyword set that is not exactly `k` distinct
+    /// keywords.
+    pub fn try_query_into(
+        &self,
+        q: &Point,
+        t: usize,
+        keywords: &[Keyword],
+        out: &mut Vec<u32>,
+    ) -> Result<QueryStats, SkqError> {
+        validate::point_query(q, self.dim)?;
+        validate::distinct_keywords(keywords, self.k())?;
+        let (ids, stats) = self.query_with_stats(q, t, keywords);
+        out.extend(ids);
+        Ok(stats)
     }
 
     /// "Are there at least `t` matches within radius `r`?" — the
@@ -413,6 +464,35 @@ mod tests {
         let dataset = random_dataset(50, 2, 4, 21);
         let index = LinfNnIndex::build(&dataset, 2);
         assert!(index.query(&Point::new2(0.0, 0.0), 0, &[0, 1]).is_empty());
+    }
+
+    #[test]
+    fn try_surfaces_round_trip_and_validate() {
+        let dataset = random_dataset(120, 2, 6, 61);
+        let index = LinfNnIndex::try_build(&dataset, 2).unwrap();
+        let legacy = LinfNnIndex::build(&dataset, 2);
+        let q = Point::new2(1.0, -3.0);
+        let mut out = Vec::new();
+        index.try_query_into(&q, 5, &[0, 1], &mut out).unwrap();
+        assert_eq!(out, legacy.query(&q, 5, &[0, 1]));
+        let mut scratch = Vec::new();
+        assert!(matches!(
+            index.try_query_into(&Point::new1(0.0), 1, &[0, 1], &mut scratch),
+            Err(SkqError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            index.try_query_into(&Point::new2(f64::NAN, 0.0), 1, &[0, 1], &mut scratch),
+            Err(SkqError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            index.try_query_into(&q, 1, &[0], &mut scratch),
+            Err(SkqError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            LinfNnIndex::try_build(&dataset, 17),
+            Err(SkqError::InvalidQuery(_))
+        ));
+        assert!(LinfNnIndex::try_build_linear(&dataset, 2).is_ok());
     }
 
     #[test]

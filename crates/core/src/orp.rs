@@ -15,6 +15,8 @@ use skq_invidx::Keyword;
 
 use crate::dataset::Dataset;
 use crate::dimred::DimRedTree;
+use crate::error::{validate, SkqError};
+use crate::failpoints;
 use crate::framework::{FrameworkConfig, KdPartitioner, TransformedIndex};
 use crate::sink::{CountSink, LimitSink, ResultSink};
 use crate::stats::QueryStats;
@@ -42,8 +44,33 @@ impl OrpKwIndex {
     ///
     /// # Panics
     ///
-    /// Panics if `k < 2` or the dataset is empty.
+    /// Panics with the [`try_build`](Self::try_build) error message if
+    /// `k < 2` or `k > 16`.
     pub fn build(dataset: &Dataset, k: usize) -> Self {
+        Self::try_build(dataset, k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`build`](Self::build).
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidQuery` if `k` is outside `2..=16`.
+    pub fn try_build(dataset: &Dataset, k: usize) -> Result<Self, SkqError> {
+        Self::try_build_with_budget(dataset, k, None)
+    }
+
+    /// Fallible build with a space-admission budget: if the finished
+    /// index would occupy more than `max_space_words` 64-bit words, it
+    /// is discarded and `SkqError::BuildBudgetExceeded` is returned.
+    /// The planner's degradation ladder uses this to fall back to the
+    /// linear-space engines (footnote 3) and finally the naive scan.
+    pub fn try_build_with_budget(
+        dataset: &Dataset,
+        k: usize,
+        max_space_words: Option<usize>,
+    ) -> Result<Self, SkqError> {
+        validate::build_k(k)?;
+        failpoints::check("orp::build")?;
         let start = std::time::Instant::now();
         let dim = dataset.dim();
         let inner = if dim <= 2 {
@@ -51,17 +78,23 @@ impl OrpKwIndex {
             let rank_points = (0..dataset.len()).map(|i| rank.point(i)).collect();
             let weights = (0..dataset.len()).map(|i| dataset.weight(i)).collect();
             let partitioner = KdPartitioner::new(rank_points, weights);
-            let tree = TransformedIndex::build(
+            let tree = TransformedIndex::try_build(
                 partitioner,
                 dataset.docs().to_vec(),
                 k,
                 FrameworkConfig::default(),
-            );
+            )?;
             Inner::Kd { rank, tree }
         } else {
             Inner::DimRed(Box::new(DimRedTree::build(dataset, k)))
         };
         let index = Self { inner, dim, k };
+        if let Some(budget) = max_space_words {
+            let needed = index.space_words();
+            if needed > budget {
+                return Err(SkqError::BuildBudgetExceeded { budget, needed });
+            }
+        }
         let (nodes, pivots) = match &index.inner {
             Inner::Kd { tree, .. } => (
                 tree.num_nodes() as u64,
@@ -76,7 +109,7 @@ impl OrpKwIndex {
             pivots,
             (index.space_words() * 8) as u64,
         );
-        index
+        Ok(index)
     }
 
     /// The number of query keywords the index was built for.
@@ -123,6 +156,25 @@ impl OrpKwIndex {
         let _ = self.query_sink(q, keywords, &mut sink, stats);
         stats.emitted += sink.emitted();
         stats.truncated |= sink.truncated();
+    }
+
+    /// Fallible query: validates the rectangle and keywords, then
+    /// appends every match to `out` and returns the execution
+    /// statistics. Equivalent to [`query`](Self::query) on valid
+    /// input; returns `SkqError::InvalidQuery` instead of panicking on
+    /// a dimension mismatch, NaN bounds, or a wrong number of distinct
+    /// keywords.
+    pub fn try_query_into(
+        &self,
+        q: &Rect,
+        keywords: &[Keyword],
+        out: &mut Vec<u32>,
+    ) -> Result<QueryStats, SkqError> {
+        validate::rect_query(q, self.dim)?;
+        validate::distinct_keywords(keywords, self.k)?;
+        let mut stats = QueryStats::new();
+        self.query_limited(q, keywords, usize::MAX, out, &mut stats);
+        Ok(stats)
     }
 
     /// Streaming query: every matching object id is emitted into `sink`,
@@ -371,6 +423,52 @@ mod tests {
         let dataset = random_dataset(50, 2, 5, 81);
         let index = OrpKwIndex::build(&dataset, 2);
         let _ = index.query(&Rect::full(2), &[3, 3]);
+    }
+
+    #[test]
+    fn try_build_and_query_match_legacy() {
+        let dataset = random_dataset(200, 2, 8, 101);
+        let index = OrpKwIndex::try_build(&dataset, 2).unwrap();
+        let q = Rect::full(2);
+        let mut got = Vec::new();
+        let stats = index.try_query_into(&q, &[0, 1], &mut got).unwrap();
+        got.sort_unstable();
+        assert_eq!(got, brute(&dataset, &q, &[0, 1]));
+        assert_eq!(stats.emitted as usize, got.len());
+    }
+
+    #[test]
+    fn try_surfaces_reject_invalid_input() {
+        let dataset = random_dataset(50, 2, 5, 102);
+        assert!(matches!(
+            OrpKwIndex::try_build(&dataset, 1),
+            Err(SkqError::InvalidQuery(_))
+        ));
+        let index = OrpKwIndex::try_build(&dataset, 2).unwrap();
+        let mut out = Vec::new();
+        // Duplicate keywords, wrong dimensionality, NaN bound.
+        assert!(matches!(
+            index.try_query_into(&Rect::full(2), &[3, 3], &mut out),
+            Err(SkqError::InvalidQuery(ref m)) if m.contains("distinct keywords")
+        ));
+        assert!(matches!(
+            index.try_query_into(&Rect::full(3), &[0, 1], &mut out),
+            Err(SkqError::InvalidQuery(_))
+        ));
+        assert!(out.is_empty(), "failed validation must not emit");
+    }
+
+    #[test]
+    fn space_budget_is_enforced() {
+        let dataset = random_dataset(200, 2, 8, 103);
+        let err = OrpKwIndex::try_build_with_budget(&dataset, 2, Some(10));
+        assert!(matches!(
+            err,
+            Err(SkqError::BuildBudgetExceeded { budget: 10, .. })
+        ));
+        let full = OrpKwIndex::try_build(&dataset, 2).unwrap();
+        let ok = OrpKwIndex::try_build_with_budget(&dataset, 2, Some(full.space_words()));
+        assert!(ok.is_ok());
     }
 
     #[test]

@@ -22,10 +22,13 @@
 //! returns identical results, so planning is purely a performance
 //! decision.
 
-use skq_geom::Rect;
+use skq_geom::{ConvexPolytope, Rect};
 use skq_invidx::{InvertedIndex, Keyword};
 
 use crate::dataset::Dataset;
+use crate::error::SkqError;
+use crate::guard::{GuardedSink, QueryGuard};
+use crate::lc::LcKwIndex;
 use crate::naive::{KeywordsFirst, StructuredFirst};
 use crate::orp::OrpKwIndex;
 use crate::sink::{CountSink, ResultSink, TeeSink};
@@ -52,6 +55,43 @@ impl Plan {
             Plan::Framework => "framework",
         }
     }
+}
+
+/// Which engine tier the planner's "framework" slot was admitted at.
+///
+/// Under a space budget (see
+/// [`try_build_with_budget`](PlannedOrpKw::try_build_with_budget)) the
+/// planner degrades gracefully instead of failing the build: the
+/// super-linear ORP-KW index (Theorem 1) is tried first, then the
+/// linear-space LC-KW route (footnote 3), then no index at all — every
+/// tier still answers every query correctly, trading speed for space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuildTier {
+    /// Full ORP-KW index admitted (paper's query bound).
+    Framework,
+    /// Linear-space LC-KW fallback (extra `log N` factor, footnote 3).
+    Linear,
+    /// No geometric-keyword index; framework-plan queries are served by
+    /// the cheaper of the two naive engines.
+    Naive,
+}
+
+impl BuildTier {
+    /// Stable label used for metric series and query-log records.
+    pub fn label(self) -> &'static str {
+        match self {
+            BuildTier::Framework => "framework",
+            BuildTier::Linear => "linear",
+            BuildTier::Naive => "naive",
+        }
+    }
+}
+
+/// The engine occupying the planner's framework slot.
+enum Engine {
+    Framework(OrpKwIndex),
+    Linear(LcKwIndex),
+    Naive,
 }
 
 /// Per-strategy cost estimates (in "objects touched" units).
@@ -95,7 +135,8 @@ const SAMPLE_SIZE: usize = 512;
 /// An ORP-KW executor that owns all three strategies and routes each
 /// query to the estimated-cheapest one.
 pub struct PlannedOrpKw {
-    index: OrpKwIndex,
+    engine: Engine,
+    tier: BuildTier,
     keywords_first: KeywordsFirst,
     structured_first: StructuredFirst,
     inv: InvertedIndex,
@@ -107,7 +148,49 @@ pub struct PlannedOrpKw {
 
 impl PlannedOrpKw {
     /// Builds all three engines plus the estimation sample.
+    ///
+    /// # Panics
+    ///
+    /// On an invalid dataset or `k`; see
+    /// [`try_build`](Self::try_build) for the fallible surface.
     pub fn build(dataset: &Dataset, k: usize) -> Self {
+        Self::try_build(dataset, k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible build with no space budget (always admits the full
+    /// framework index).
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidDataset` / `InvalidQuery` exactly as
+    /// [`OrpKwIndex::try_build`].
+    pub fn try_build(dataset: &Dataset, k: usize) -> Result<Self, SkqError> {
+        Self::try_build_with_budget(dataset, k, None)
+    }
+
+    /// Fallible build under an optional space budget (in 64-bit words),
+    /// degrading gracefully instead of failing:
+    ///
+    /// 1. the full ORP-KW index ([`BuildTier::Framework`]);
+    /// 2. on `BuildBudgetExceeded`, the linear-space LC-KW route
+    ///    ([`BuildTier::Linear`], footnote 3 of the paper);
+    /// 3. if even that exceeds the budget, no index at all
+    ///    ([`BuildTier::Naive`]) — framework-plan queries are served by
+    ///    the cheaper naive engine.
+    ///
+    /// The admitted tier is recorded on the
+    /// `skq_planner_build_tier_total{tier=…}` counter and stamped into
+    /// every query-log record this planner writes.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors propagate; `BuildBudgetExceeded` never
+    /// escapes (it triggers the next tier instead).
+    pub fn try_build_with_budget(
+        dataset: &Dataset,
+        k: usize,
+        max_space_words: Option<usize>,
+    ) -> Result<Self, SkqError> {
         // Deterministic xorshift sampler (the crate has no runtime RNG
         // dependency; estimation only needs an unbiased-ish spread).
         let mut state = 0x9e37_79b9_7f4a_7c15u64;
@@ -118,17 +201,37 @@ impl PlannedOrpKw {
             state
         };
         let sample: Vec<u32> = (0..SAMPLE_SIZE)
-            .map(|_| (next() % dataset.len() as u64) as u32)
+            .map(|_| (next() % dataset.len().max(1) as u64) as u32)
             .collect();
-        Self {
-            index: OrpKwIndex::build(dataset, k),
+        let (engine, tier) = match OrpKwIndex::try_build_with_budget(dataset, k, max_space_words) {
+            Ok(index) => (Engine::Framework(index), BuildTier::Framework),
+            Err(SkqError::BuildBudgetExceeded { .. }) => {
+                match LcKwIndex::try_build_with_budget(dataset, k, max_space_words) {
+                    Ok(lc) => (Engine::Linear(lc), BuildTier::Linear),
+                    Err(SkqError::BuildBudgetExceeded { .. }) => (Engine::Naive, BuildTier::Naive),
+                    Err(e) => return Err(e),
+                }
+            }
+            Err(e) => return Err(e),
+        };
+        skq_obs::global()
+            .counter("skq_planner_build_tier_total", &[("tier", tier.label())])
+            .inc();
+        Ok(Self {
+            engine,
+            tier,
             keywords_first: KeywordsFirst::build(dataset),
             structured_first: StructuredFirst::build(dataset),
             inv: InvertedIndex::build(dataset.docs()),
             sample,
             dataset: dataset.clone(),
             k,
-        }
+        })
+    }
+
+    /// The tier the framework slot was admitted at.
+    pub fn tier(&self) -> BuildTier {
+        self.tier
     }
 
     /// Cost estimates for a query (no execution).
@@ -230,13 +333,19 @@ impl PlannedOrpKw {
         let est = self.estimate(q, keywords);
         let plan = est.best();
         let mut tee = TeeSink::new(&mut *sink, CountSink::new());
-        let _ = match plan {
-            Plan::KeywordsOnly => self.keywords_first.query_rect_sink(q, keywords, &mut tee),
-            Plan::StructuredOnly => self.structured_first.query_rect_sink(q, keywords, &mut tee),
-            Plan::Framework => self.index.query_sink(q, keywords, &mut tee, stats),
+        let framework_ran = match plan {
+            Plan::KeywordsOnly => {
+                let _ = self.keywords_first.query_rect_sink(q, keywords, &mut tee);
+                false
+            }
+            Plan::StructuredOnly => {
+                let _ = self.structured_first.query_rect_sink(q, keywords, &mut tee);
+                false
+            }
+            Plan::Framework => self.run_framework_slot(q, keywords, &est, &mut tee, stats),
         };
         let out_len = tee.secondary().count();
-        if plan != Plan::Framework {
+        if !framework_ran {
             // The naive engines carry no internal stats; account their
             // offered results here so telemetry stays populated.
             stats.reported += out_len;
@@ -259,7 +368,7 @@ impl PlannedOrpKw {
         telemetry::record_query_planned(
             "orp_planned",
             self.k,
-            Some(plan.label()),
+            Some(self.plan_label(plan)),
             stats,
             span.elapsed(),
             Some(est.cost_of(plan)),
@@ -268,20 +377,92 @@ impl PlannedOrpKw {
         plan
     }
 
+    /// Guarded planned query: like [`query`](Self::query) but enforcing
+    /// the deadline / cancellation / result budget of `guard`. The
+    /// returned stats carry [`truncated_reason`](QueryStats) when a
+    /// limit tripped; results collected before the trip are kept.
+    pub fn query_guarded(
+        &self,
+        q: &Rect,
+        keywords: &[Keyword],
+        guard: &QueryGuard,
+    ) -> (Vec<u32>, Plan, QueryStats) {
+        let mut out = Vec::new();
+        let mut stats = QueryStats::new();
+        let mut guarded = GuardedSink::new(&mut out, guard);
+        let plan = self.query_sink(q, keywords, &mut guarded, &mut stats);
+        let reason = guarded.truncated_reason();
+        stats.truncated |= reason.is_some();
+        stats.truncated_reason = stats.truncated_reason.or(reason);
+        out.sort_unstable();
+        (out, plan, stats)
+    }
+
     /// Executes with an explicit plan (for testing/measurement).
     pub fn query_with_plan(&self, q: &Rect, keywords: &[Keyword], plan: Plan) -> Vec<u32> {
         let mut out = match plan {
             Plan::KeywordsOnly => self.keywords_first.query_rect(q, keywords),
             Plan::StructuredOnly => self.structured_first.query_rect(q, keywords),
-            Plan::Framework => self.index.query(q, keywords),
+            Plan::Framework => match &self.engine {
+                Engine::Framework(index) => index.query(q, keywords),
+                Engine::Linear(lc) => lc.query_rect(q, keywords),
+                Engine::Naive => self.structured_first.query_rect(q, keywords),
+            },
         };
         out.sort_unstable();
         out
+    }
+
+    /// Serves a framework-plan query on whatever tier was admitted.
+    /// Returns whether an actual framework/linear index ran (i.e.
+    /// whether `stats` was populated by the engine itself).
+    fn run_framework_slot<S: ResultSink>(
+        &self,
+        q: &Rect,
+        keywords: &[Keyword],
+        est: &CostEstimate,
+        sink: &mut S,
+        stats: &mut QueryStats,
+    ) -> bool {
+        match &self.engine {
+            Engine::Framework(index) => {
+                let _ = index.query_sink(q, keywords, sink, stats);
+                true
+            }
+            Engine::Linear(lc) => {
+                let poly = ConvexPolytope::from_rect(q);
+                let _ = lc.query_sink(poly.halfspaces(), keywords, sink, stats);
+                true
+            }
+            Engine::Naive => {
+                // No index survived admission: serve with the cheaper
+                // of the two naive engines (still correct, just slow).
+                if est.keywords_only <= est.structured_only {
+                    let _ = self.keywords_first.query_rect_sink(q, keywords, sink);
+                } else {
+                    let _ = self.structured_first.query_rect_sink(q, keywords, sink);
+                }
+                false
+            }
+        }
+    }
+
+    /// Query-log label: the plan, suffixed with the degraded tier when
+    /// the framework slot is not the full index (e.g.
+    /// `framework@linear`).
+    fn plan_label(&self, plan: Plan) -> &'static str {
+        match (plan, self.tier) {
+            (Plan::Framework, BuildTier::Linear) => "framework@linear",
+            (Plan::Framework, BuildTier::Naive) => "framework@naive",
+            _ => plan.label(),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
+
     use super::*;
     use rand::{rngs::StdRng, Rng, SeedableRng};
     use skq_geom::Point;
@@ -380,6 +561,61 @@ mod tests {
         // estimate (2000-long list); depending on OUT it may also beat
         // structured-only.
         assert!(est.framework < est.keywords_only, "{est:?}");
+    }
+
+    #[test]
+    fn budget_degrades_through_tiers_without_losing_answers() {
+        // Uniform keyword distribution: every point carries both query
+        // keywords, so the LC footprint sits clearly below the ORP one
+        // and a mid-point budget exercises the linear tier.
+        let mut rng = StdRng::seed_from_u64(7);
+        let parts: Vec<(Point, Vec<Keyword>)> = (0..2000)
+            .map(|_| {
+                let p = Point::new2(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0));
+                (p, vec![0u32, 1, 100 + rng.gen_range(0..50)])
+            })
+            .collect();
+        let d = Dataset::from_parts(parts);
+        let q = Rect::new(&[100.0, 100.0], &[300.0, 300.0]);
+        let kws = [0u32, 1u32];
+
+        let full = PlannedOrpKw::try_build_with_budget(&d, 2, None).unwrap();
+        assert_eq!(full.tier(), BuildTier::Framework);
+        let expected = full.query_with_plan(&q, &kws, Plan::Framework);
+        assert!(!expected.is_empty());
+
+        // A budget between the LC footprint and the ORP footprint must
+        // admit the linear tier; a budget of one word admits nothing.
+        let orp_words = OrpKwIndex::build(&d, 2).space_words();
+        let lc_words = LcKwIndex::build(&d, 2).space_words();
+        assert!(lc_words < orp_words, "lc={lc_words} orp={orp_words}");
+        let mid = (lc_words + orp_words) / 2;
+
+        for (budget, tier) in [(Some(mid), BuildTier::Linear), (Some(1), BuildTier::Naive)] {
+            let planner = PlannedOrpKw::try_build_with_budget(&d, 2, budget).unwrap();
+            assert_eq!(planner.tier(), tier, "budget {budget:?}");
+            assert_eq!(planner.query_with_plan(&q, &kws, Plan::Framework), expected);
+            let (got, _) = planner.query(&q, &kws);
+            assert_eq!(got, expected);
+        }
+        let tiers =
+            skq_obs::global().counter("skq_planner_build_tier_total", &[("tier", "linear")]);
+        assert!(tiers.get() >= 1);
+    }
+
+    #[test]
+    fn guarded_query_truncates_with_reason() {
+        use crate::stats::TruncatedReason;
+        let d = dataset();
+        let planner = PlannedOrpKw::build(&d, 2);
+        let q = Rect::new(&[100.0, 100.0], &[300.0, 300.0]);
+        let (full, _) = planner.query(&q, &[0, 1]);
+        assert!(full.len() > 3);
+        let guard = QueryGuard::new().with_max_results(3);
+        let (got, _, stats) = planner.query_guarded(&q, &[0, 1], &guard);
+        assert_eq!(got.len(), 3);
+        assert_eq!(stats.truncated_reason, Some(TruncatedReason::Limit));
+        assert!(got.iter().all(|i| full.binary_search(i).is_ok()));
     }
 
     #[test]

@@ -16,6 +16,8 @@ use skq_geom::{Point, Rect};
 use skq_invidx::{Document, Keyword};
 
 use crate::dataset::Dataset;
+use crate::error::{validate, SkqError};
+use crate::failpoints;
 use crate::lc::LcKwIndex;
 use crate::orp::OrpKwIndex;
 use crate::sink::{DedupSink, LimitSink, ResultSink};
@@ -55,22 +57,25 @@ impl RrKwIndex {
     /// exceed 4 (the flattened points would exceed the supported 8
     /// dimensions), or `k < 2`.
     pub fn build(rects: &[(Rect, Vec<Keyword>)], k: usize) -> Self {
-        assert!(!rects.is_empty(), "RR-KW needs data rectangles");
-        let dim = rects[0].0.dim();
-        assert!(dim <= 4, "flattened dimension 2d must be at most 8");
-        let parts: Vec<(Point, Vec<Keyword>)> = rects
-            .iter()
-            .map(|(r, kws)| {
-                assert_eq!(r.dim(), dim, "inconsistent rectangle dimensions");
-                (flatten(r), kws.clone())
-            })
-            .collect();
-        let dataset = Dataset::from_parts(parts);
-        Self {
-            orp: OrpKwIndex::build(&dataset, k),
-            dim,
+        Self::try_build(rects, k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`build`](Self::build).
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidDataset` on empty input, inconsistent or
+    /// unsupported dimensions, or invalid rectangle data;
+    /// `SkqError::InvalidQuery` if `k` is outside `2..=16`.
+    pub fn try_build(rects: &[(Rect, Vec<Keyword>)], k: usize) -> Result<Self, SkqError> {
+        validate::build_k(k)?;
+        failpoints::check("rr::build")?;
+        let dataset = flatten_rects(rects)?;
+        Ok(Self {
+            orp: OrpKwIndex::try_build(&dataset, k)?,
+            dim: rects[0].0.dim(),
             len: rects.len(),
-        }
+        })
     }
 
     /// The rectangle dimensionality `d`.
@@ -111,6 +116,26 @@ impl RrKwIndex {
         let _ = self.query_sink(q, keywords, &mut sink, stats);
         stats.emitted += sink.emitted();
         stats.truncated |= sink.truncated();
+    }
+
+    /// Fallible query: validates the query rectangle and keyword set,
+    /// then appends matching ids to `out`.
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidQuery` on a dimension mismatch, NaN bounds, or
+    /// a keyword set that is not exactly `k` distinct keywords.
+    pub fn try_query_into(
+        &self,
+        q: &Rect,
+        keywords: &[Keyword],
+        out: &mut Vec<u32>,
+    ) -> Result<QueryStats, SkqError> {
+        validate::rect_query(q, self.dim)?;
+        validate::distinct_keywords(keywords, self.k())?;
+        let mut stats = QueryStats::new();
+        self.query_limited(q, keywords, usize::MAX, out, &mut stats);
+        Ok(stats)
     }
 
     /// Streaming variant. The `2d`-dimensional flattening maps each
@@ -154,21 +179,22 @@ impl RrKwLinear {
     /// Panics on empty input or unsupported dimensions (see
     /// [`RrKwIndex::build`]).
     pub fn build(rects: &[(Rect, Vec<Keyword>)], k: usize) -> Self {
-        assert!(!rects.is_empty(), "RR-KW needs data rectangles");
-        let dim = rects[0].0.dim();
-        assert!(dim <= 4, "flattened dimension 2d must be at most 8");
-        let parts: Vec<(Point, Vec<Keyword>)> = rects
-            .iter()
-            .map(|(r, kws)| {
-                assert_eq!(r.dim(), dim, "inconsistent rectangle dimensions");
-                (flatten(r), kws.clone())
-            })
-            .collect();
-        let dataset = Dataset::from_parts(parts);
-        Self {
-            lc: LcKwIndex::build(&dataset, k),
-            dim,
-        }
+        Self::try_build(rects, k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`build`](Self::build).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RrKwIndex::try_build`].
+    pub fn try_build(rects: &[(Rect, Vec<Keyword>)], k: usize) -> Result<Self, SkqError> {
+        validate::build_k(k)?;
+        failpoints::check("rr::build")?;
+        let dataset = flatten_rects(rects)?;
+        Ok(Self {
+            lc: LcKwIndex::try_build(&dataset, k)?,
+            dim: rects[0].0.dim(),
+        })
     }
 
     /// Reports ids of data rectangles intersecting `q` whose documents
@@ -178,10 +204,56 @@ impl RrKwLinear {
         self.lc.query_rect(&lift_query(q), keywords)
     }
 
+    /// Fallible [`query`](Self::query): validates inputs and appends
+    /// matching ids to `out`.
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidQuery` on a dimension mismatch, NaN bounds, or
+    /// a keyword set that is not exactly `k` distinct keywords.
+    pub fn try_query_into(
+        &self,
+        q: &Rect,
+        keywords: &[Keyword],
+        out: &mut Vec<u32>,
+    ) -> Result<QueryStats, SkqError> {
+        validate::rect_query(q, self.dim)?;
+        validate::distinct_keywords(keywords, self.lc.k())?;
+        out.extend(self.lc.query_rect(&lift_query(q), keywords));
+        Ok(QueryStats::new())
+    }
+
     /// Index space in 64-bit words (linear in `N`).
     pub fn space_words(&self) -> usize {
         self.lc.space_words()
     }
+}
+
+/// Validates a rectangle input set and flattens it into the
+/// `2d`-dimensional point dataset of Corollary 3's reduction.
+fn flatten_rects(rects: &[(Rect, Vec<Keyword>)]) -> Result<Dataset, SkqError> {
+    if rects.is_empty() {
+        return Err(SkqError::InvalidDataset(
+            "RR-KW needs data rectangles".into(),
+        ));
+    }
+    let dim = rects[0].0.dim();
+    if dim > 4 {
+        return Err(SkqError::InvalidDataset(
+            "flattened dimension 2d must be at most 8".into(),
+        ));
+    }
+    let mut parts = Vec::with_capacity(rects.len());
+    for (id, (r, kws)) in rects.iter().enumerate() {
+        if r.dim() != dim {
+            return Err(SkqError::InvalidDataset(format!(
+                "inconsistent rectangle dimensions: rectangle {id} is {}-dimensional, rectangle 0 is {dim}-dimensional",
+                r.dim()
+            )));
+        }
+        parts.push((flatten(r), kws.clone()));
+    }
+    Dataset::try_from_parts(parts)
 }
 
 /// Flattens `[a₁,b₁] × …` to the point `(a₁, b₁, …)`.
@@ -345,6 +417,48 @@ mod tests {
             y.sort_unstable();
             assert_eq!(x, y);
         }
+    }
+
+    #[test]
+    fn try_build_and_query_match_legacy() {
+        let rects = random_rects(150, 1, 6, 41);
+        let legacy = RrKwIndex::build(&rects, 2);
+        let fallible = RrKwIndex::try_build(&rects, 2).unwrap();
+        let q = Rect::new(&[10.0], &[60.0]);
+        let mut out = Vec::new();
+        let stats = fallible.try_query_into(&q, &[0, 1], &mut out).unwrap();
+        let mut legacy_out = legacy.query(&q, &[0, 1]);
+        out.sort_unstable();
+        legacy_out.sort_unstable();
+        assert_eq!(out, legacy_out);
+        assert_eq!(stats.emitted, out.len() as u64);
+    }
+
+    #[test]
+    fn try_surfaces_reject_invalid_input() {
+        assert!(matches!(
+            RrKwIndex::try_build(&[], 2),
+            Err(SkqError::InvalidDataset(_))
+        ));
+        let rects = random_rects(30, 1, 4, 43);
+        assert!(matches!(
+            RrKwIndex::try_build(&rects, 1),
+            Err(SkqError::InvalidQuery(_))
+        ));
+        let index = RrKwIndex::try_build(&rects, 2).unwrap();
+        let mut out = Vec::new();
+        // Duplicate keywords: only one distinct value.
+        let dup = index.try_query_into(&Rect::new(&[0.0], &[1.0]), &[3, 3], &mut out);
+        assert!(matches!(dup, Err(SkqError::InvalidQuery(ref m)) if m.contains("distinct")));
+        // Wrong dimensionality.
+        let wrong_dim =
+            index.try_query_into(&Rect::new(&[0.0, 0.0], &[1.0, 1.0]), &[0, 1], &mut out);
+        assert!(matches!(wrong_dim, Err(SkqError::InvalidQuery(_))));
+        // Linear variant shares the validation path.
+        let linear = RrKwLinear::try_build(&rects, 2).unwrap();
+        let wrong = linear.try_query_into(&Rect::full(2), &[0, 1], &mut out);
+        assert!(matches!(wrong, Err(SkqError::InvalidQuery(_))));
+        assert!(out.is_empty());
     }
 
     #[test]

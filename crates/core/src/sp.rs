@@ -16,6 +16,8 @@ use skq_geom::{ConvexPolytope, Point, Simplex};
 use skq_invidx::Keyword;
 
 use crate::dataset::Dataset;
+use crate::error::{validate, SkqError};
+use crate::failpoints;
 use crate::framework::{
     FrameworkConfig, KdPartitioner, QuadPartitioner, TransformedIndex, WillardPartitioner,
 };
@@ -90,46 +92,96 @@ impl SpKwIndex {
     /// Panics if `strategy` is `Willard` and the data is not 2D, or
     /// `k < 2`.
     pub fn build_with_strategy(dataset: &Dataset, k: usize, strategy: SpStrategy) -> Self {
+        Self::try_build_with_strategy(dataset, k, strategy).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`build`](Self::build) with the default strategy.
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidQuery` if `k` is outside `2..=16`;
+    /// `SkqError::InvalidDataset` if the strategy requires 2D data.
+    pub fn try_build(dataset: &Dataset, k: usize) -> Result<Self, SkqError> {
+        let strategy = if dataset.dim() == 2 {
+            SpStrategy::Willard
+        } else {
+            SpStrategy::Kd
+        };
+        Self::try_build_with_strategy(dataset, k, strategy)
+    }
+
+    /// Fallible [`build`](Self::build) with a space-admission budget:
+    /// the index is constructed, then rejected if it occupies more than
+    /// `max_space_words` 64-bit words. Used by the planner's graceful
+    /// degradation ladder.
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::BuildBudgetExceeded` when the finished index is over
+    /// budget; otherwise the [`try_build`](Self::try_build) conditions.
+    pub fn try_build_with_budget(
+        dataset: &Dataset,
+        k: usize,
+        max_space_words: Option<usize>,
+    ) -> Result<Self, SkqError> {
+        let index = Self::try_build(dataset, k)?;
+        if let Some(budget) = max_space_words {
+            let needed = index.space_words();
+            if needed > budget {
+                return Err(SkqError::BuildBudgetExceeded { budget, needed });
+            }
+        }
+        Ok(index)
+    }
+
+    /// Fallible [`build_with_strategy`](Self::build_with_strategy).
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidQuery` if `k` is outside `2..=16`;
+    /// `SkqError::InvalidDataset` if a 2D-only strategy is paired with
+    /// non-2D data.
+    pub fn try_build_with_strategy(
+        dataset: &Dataset,
+        k: usize,
+        strategy: SpStrategy,
+    ) -> Result<Self, SkqError> {
+        validate::build_k(k)?;
+        failpoints::check("sp::build")?;
         let points = dataset.points().to_vec();
         let weights: Vec<u64> = (0..dataset.len()).map(|i| dataset.weight(i)).collect();
         let docs = dataset.docs().to_vec();
+        let config = FrameworkConfig::default();
         let inner = match strategy {
             SpStrategy::Willard => {
-                assert_eq!(dataset.dim(), 2, "the Willard partition tree is 2D");
+                if dataset.dim() != 2 {
+                    return Err(SkqError::InvalidDataset(
+                        "the Willard partition tree is 2D".into(),
+                    ));
+                }
                 let p = WillardPartitioner::new(points.clone(), weights);
-                Inner::Willard(TransformedIndex::build(
-                    p,
-                    docs,
-                    k,
-                    FrameworkConfig::default(),
-                ))
+                Inner::Willard(TransformedIndex::try_build(p, docs, k, config)?)
             }
             SpStrategy::Kd => {
                 let p = KdPartitioner::new(points.clone(), weights);
-                Inner::Kd(TransformedIndex::build(
-                    p,
-                    docs,
-                    k,
-                    FrameworkConfig::default(),
-                ))
+                Inner::Kd(TransformedIndex::try_build(p, docs, k, config)?)
             }
             SpStrategy::Quad => {
-                assert_eq!(dataset.dim(), 2, "the quadtree partitioner is 2D");
+                if dataset.dim() != 2 {
+                    return Err(SkqError::InvalidDataset(
+                        "the quadtree partitioner is 2D".into(),
+                    ));
+                }
                 let p = QuadPartitioner::new(points.clone(), weights);
-                Inner::Quad(TransformedIndex::build(
-                    p,
-                    docs,
-                    k,
-                    FrameworkConfig::default(),
-                ))
+                Inner::Quad(TransformedIndex::try_build(p, docs, k, config)?)
             }
         };
-        Self {
+        Ok(Self {
             inner,
             points,
             dim: dataset.dim(),
             k,
-        }
+        })
     }
 
     /// The number of query keywords the index was built for.
@@ -170,6 +222,27 @@ impl SpKwIndex {
         let mut stats = QueryStats::new();
         self.query_limited(q, keywords, usize::MAX, &mut out, &mut stats);
         (out, stats)
+    }
+
+    /// Fallible query: validates the constraint conjunction and keyword
+    /// set, then appends matching ids to `out`.
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidQuery` on a dimension mismatch, NaN
+    /// coefficients, or a keyword set that is not exactly `k` distinct
+    /// keywords.
+    pub fn try_query_into(
+        &self,
+        q: &ConvexPolytope,
+        keywords: &[Keyword],
+        out: &mut Vec<u32>,
+    ) -> Result<QueryStats, SkqError> {
+        validate::polytope_query(q, self.dim)?;
+        validate::distinct_keywords(keywords, self.k)?;
+        let mut stats = QueryStats::new();
+        self.query_limited(q, keywords, usize::MAX, out, &mut stats);
+        Ok(stats)
     }
 
     /// Reports all matching objects inside a `d`-simplex.
@@ -395,6 +468,41 @@ mod tests {
         let mut got = index.query_polytope(&q, &[0, 2]);
         got.sort_unstable();
         assert_eq!(got, brute(&dataset, &q, &[0, 2]));
+    }
+
+    #[test]
+    fn try_surfaces_match_legacy_and_validate() {
+        let dataset = random_dataset(200, 2, 6, 61);
+        let index = SpKwIndex::try_build(&dataset, 2).unwrap();
+        let legacy = SpKwIndex::build(&dataset, 2);
+        let mut rng = StdRng::seed_from_u64(62);
+        let q = random_halfspaces(&mut rng, 2, 2);
+        let mut out = Vec::new();
+        index.try_query_into(&q, &[0, 1], &mut out).unwrap();
+        let mut expected = legacy.query_polytope(&q, &[0, 1]);
+        out.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(out, expected);
+        // Invalid surfaces.
+        assert!(matches!(
+            SpKwIndex::try_build(&dataset, 1),
+            Err(SkqError::InvalidQuery(_))
+        ));
+        let d3 = random_dataset(50, 3, 4, 63);
+        assert!(matches!(
+            SpKwIndex::try_build_with_strategy(&d3, 2, SpStrategy::Willard),
+            Err(SkqError::InvalidDataset(_))
+        ));
+        let nan = ConvexPolytope::new(vec![Halfspace::new(&[f64::NAN, 0.0], 1.0)]);
+        let mut scratch = Vec::new();
+        assert!(matches!(
+            index.try_query_into(&nan, &[0, 1], &mut scratch),
+            Err(SkqError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            SpKwIndex::try_build_with_budget(&dataset, 2, Some(1)),
+            Err(SkqError::BuildBudgetExceeded { budget: 1, .. })
+        ));
     }
 
     #[test]

@@ -12,6 +12,8 @@ use skq_geom::{lift_point, Ball, ConvexPolytope, Halfspace, Point};
 use skq_invidx::Keyword;
 
 use crate::dataset::Dataset;
+use crate::error::{validate, SkqError};
+use crate::failpoints;
 use crate::sink::{CountSink, LimitSink, ResultSink};
 use crate::sp::SpKwIndex;
 use crate::stats::QueryStats;
@@ -50,11 +52,31 @@ impl SrpKwIndex {
     ///
     /// Panics if `k < 2` or `d + 1` exceeds the supported 8 dimensions.
     pub fn build(dataset: &Dataset, k: usize) -> Self {
+        Self::try_build(dataset, k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`build`](Self::build).
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidQuery` if `k` is outside `2..=16`;
+    /// `SkqError::InvalidDataset` if the lifted dimension `d + 1`
+    /// exceeds the supported 8 dimensions.
+    pub fn try_build(dataset: &Dataset, k: usize) -> Result<Self, SkqError> {
+        validate::build_k(k)?;
+        failpoints::check("srp::build")?;
         let start = std::time::Instant::now();
         let dim = dataset.dim();
+        if dim + 1 > skq_geom::MAX_DIM {
+            return Err(SkqError::InvalidDataset(format!(
+                "lifted dimension {} exceeds the supported {} dimensions",
+                dim + 1,
+                skq_geom::MAX_DIM
+            )));
+        }
         let lifted = dataset.map_points(|_, p| lift_point(p));
         let index = Self {
-            sp: SpKwIndex::build(&lifted, k),
+            sp: SpKwIndex::try_build(&lifted, k)?,
             dim,
         };
         let summaries = index.sp.node_summaries();
@@ -65,7 +87,7 @@ impl SrpKwIndex {
             summaries.iter().map(|&(_, _, p, _)| p as u64).sum(),
             (index.space_words() * 8) as u64,
         );
-        index
+        Ok(index)
     }
 
     /// The point dimensionality `d` (queries are `d`-dimensional balls).
@@ -114,6 +136,33 @@ impl SrpKwIndex {
             &mut stats,
         );
         (out, stats)
+    }
+
+    /// Fallible squared-radius query: validates the center, radius, and
+    /// keyword set, then appends matching ids to `out`.
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidQuery` on a dimension mismatch, a non-finite
+    /// center or negative/NaN radius, or a keyword set that is not
+    /// exactly `k` distinct keywords.
+    pub fn try_query_into(
+        &self,
+        center: &Point,
+        radius_sq: f64,
+        keywords: &[Keyword],
+        out: &mut Vec<u32>,
+    ) -> Result<QueryStats, SkqError> {
+        validate::point_query(center, self.dim)?;
+        if !(radius_sq.is_finite() && radius_sq >= 0.0) {
+            return Err(SkqError::InvalidQuery(format!(
+                "squared radius must be finite and non-negative, got {radius_sq}"
+            )));
+        }
+        validate::distinct_keywords(keywords, self.k())?;
+        let mut stats = QueryStats::new();
+        self.query_sq_limited(center, radius_sq, keywords, usize::MAX, out, &mut stats);
+        Ok(stats)
     }
 
     /// Limited-output squared-radius query (threshold queries).
@@ -292,6 +341,46 @@ mod tests {
         let mut got = index.query(&ball, &[0, 1]);
         got.sort_unstable();
         assert_eq!(got, vec![0, 2]);
+    }
+
+    #[test]
+    fn try_surfaces_round_trip_and_validate() {
+        let dataset = integer_dataset(150, 2, 6, 71);
+        let index = SrpKwIndex::try_build(&dataset, 2).unwrap();
+        let legacy = SrpKwIndex::build(&dataset, 2);
+        let center = Point::new2(0.0, 0.0);
+        let mut out = Vec::new();
+        let stats = index
+            .try_query_into(&center, 400.0, &[0, 1], &mut out)
+            .unwrap();
+        let mut expected = legacy.query_sq(&center, 400.0, &[0, 1]);
+        out.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(out, expected);
+        assert_eq!(stats.emitted, out.len() as u64);
+        // Validation surfaces.
+        let mut scratch = Vec::new();
+        assert!(matches!(
+            index.try_query_into(&center, -1.0, &[0, 1], &mut scratch),
+            Err(SkqError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            index.try_query_into(&center, f64::NAN, &[0, 1], &mut scratch),
+            Err(SkqError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            index.try_query_into(&Point::new1(0.0), 1.0, &[0, 1], &mut scratch),
+            Err(SkqError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            SrpKwIndex::try_build(&dataset, 1),
+            Err(SkqError::InvalidQuery(_))
+        ));
+        let d8 = Dataset::from_parts(vec![(Point::new(&[0.0; 8]), vec![0, 1])]);
+        assert!(matches!(
+            SrpKwIndex::try_build(&d8, 2),
+            Err(SkqError::InvalidDataset(_))
+        ));
     }
 
     #[test]

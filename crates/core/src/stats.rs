@@ -9,6 +9,32 @@
 //! (experiments F1/F2 in DESIGN.md), so every query method records a
 //! [`QueryStats`].
 
+/// Why a guarded query stopped before exhausting its answer.
+///
+/// Set in [`QueryStats::truncated_reason`] by the sink-owning wrapper
+/// when a [`GuardedSink`](crate::guard::GuardedSink) (or a plain
+/// limit) cut the traversal short.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TruncatedReason {
+    /// A result-count budget (`LimitSink` / `max_results`) filled up.
+    Limit,
+    /// The query ran past its deadline.
+    DeadlineExceeded,
+    /// The query's `CancelToken` was cancelled.
+    Cancelled,
+}
+
+impl TruncatedReason {
+    /// Short label for metrics and the query log.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TruncatedReason::Limit => "limit",
+            TruncatedReason::DeadlineExceeded => "deadline_exceeded",
+            TruncatedReason::Cancelled => "cancelled",
+        }
+    }
+}
+
 /// Counters describing one query execution.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct QueryStats {
@@ -39,6 +65,9 @@ pub struct QueryStats {
     /// Whether the sink cut the query short (a `LimitSink` fired), i.e.
     /// `emitted` may undercount the full answer.
     pub truncated: bool,
+    /// Why the query was cut short, when a guarded wrapper knows
+    /// (`None` for plain `ControlFlow::Break` sinks).
+    pub truncated_reason: Option<TruncatedReason>,
     /// Histogram of crossing nodes by tree level (for Lemma 10 /
     /// Figure 1: `Σ_z (1/2)^{level(z)/2}` must stay `O(1)` per query
     /// line in the kd-tree).
@@ -79,6 +108,7 @@ impl QueryStats {
         self.reported += other.reported;
         self.emitted += other.emitted;
         self.truncated |= other.truncated;
+        self.truncated_reason = self.truncated_reason.or(other.truncated_reason);
         Self::merge_hist(&mut self.crossing_by_level, &other.crossing_by_level);
         Self::merge_hist(&mut self.type1_by_level, &other.type1_by_level);
         Self::merge_hist(&mut self.type2_by_level, &other.type2_by_level);
@@ -117,7 +147,10 @@ impl std::fmt::Display for QueryStats {
             self.reported
         )?;
         if self.truncated {
-            write!(f, " (truncated, emitted {})", self.emitted)?;
+            match self.truncated_reason {
+                Some(r) => write!(f, " (truncated: {}, emitted {})", r.label(), self.emitted)?,
+                None => write!(f, " (truncated, emitted {})", self.emitted)?,
+            }
         }
         Ok(())
     }

@@ -16,6 +16,8 @@ use skq_geom::Rect;
 use skq_invidx::{InvertedIndex, Keyword};
 
 use crate::dataset::Dataset;
+use crate::error::SkqError;
+use crate::guard::{GuardedSink, QueryGuard};
 use crate::orp::OrpKwIndex;
 use crate::sink::{FilterSink, ResultSink};
 use crate::stats::QueryStats;
@@ -54,16 +56,33 @@ impl OrpKwSuite {
     ///
     /// # Panics
     ///
-    /// Panics if `k_max < 2`.
+    /// Panics if `k_max < 2` or the dataset is invalid; see
+    /// [`try_build`](Self::try_build) for the fallible surface.
     pub fn build(dataset: &Dataset, k_max: usize) -> Self {
-        assert!(k_max >= 2, "k_max must be at least 2");
-        let indexes = (2..=k_max).map(|k| OrpKwIndex::build(dataset, k)).collect();
-        Self {
+        Self::try_build(dataset, k_max).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible build.
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidQuery` if `k_max < 2`, plus everything
+    /// [`OrpKwIndex::try_build`] rejects.
+    pub fn try_build(dataset: &Dataset, k_max: usize) -> Result<Self, SkqError> {
+        if k_max < 2 {
+            return Err(SkqError::InvalidQuery(
+                "k_max must be at least 2".to_string(),
+            ));
+        }
+        let indexes = (2..=k_max)
+            .map(|k| OrpKwIndex::try_build(dataset, k))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
             indexes,
             inv: InvertedIndex::build(dataset.docs()),
             dataset: dataset.clone(),
             k_max,
-        }
+        })
     }
 
     /// The largest `k` with a dedicated index.
@@ -114,6 +133,44 @@ impl OrpKwSuite {
         kws.sort_unstable();
         kws.dedup();
         self.dispatch(q, &kws, sink, stats).1
+    }
+
+    /// Guarded variant of [`query`](Self::query): enforces the deadline
+    /// / cancellation / result budget of `guard` on whatever route the
+    /// keyword count selects. Results collected before a limit trips
+    /// are kept (sorted), and the returned stats carry the
+    /// [`truncated_reason`](QueryStats).
+    pub fn query_guarded(
+        &self,
+        q: &Rect,
+        keywords: &[Keyword],
+        guard: &QueryGuard,
+    ) -> (Vec<u32>, QueryStats) {
+        let span = skq_obs::Span::enter("orp.suite_query");
+        let mut kws = keywords.to_vec();
+        kws.sort_unstable();
+        kws.dedup();
+        let mut stats = QueryStats::new();
+        let mut result = Vec::new();
+        let (route, reason) = {
+            let mut guarded = GuardedSink::new(&mut result, guard);
+            let (route, _) = self.dispatch(q, &kws, &mut guarded, &mut stats);
+            (route, guarded.truncated_reason())
+        };
+        stats.emitted = result.len() as u64;
+        stats.truncated |= reason.is_some();
+        stats.truncated_reason = stats.truncated_reason.or(reason);
+        telemetry::record_query_planned(
+            "orp_suite",
+            kws.len(),
+            Some(route),
+            &stats,
+            span.elapsed(),
+            None,
+            None,
+        );
+        result.sort_unstable();
+        (result, stats)
     }
 
     /// Routes a deduped keyword set to the right member and streams the
@@ -187,6 +244,8 @@ impl OrpKwSuite {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
+
     use super::*;
     use rand::{rngs::StdRng, Rng, SeedableRng};
     use skq_geom::Point;
@@ -276,6 +335,41 @@ mod tests {
                 assert!(got.iter().all(|i| full.contains(i)), "kws={kws:?}");
             }
         }
+    }
+
+    #[test]
+    fn try_build_rejects_bad_k_max() {
+        let d = dataset();
+        assert!(matches!(
+            OrpKwSuite::try_build(&d, 1),
+            Err(SkqError::InvalidQuery(_))
+        ));
+    }
+
+    #[test]
+    fn guarded_query_caps_every_route() {
+        use crate::guard::QueryGuard;
+        use crate::stats::TruncatedReason;
+        let d = dataset();
+        let suite = OrpKwSuite::build(&d, 3);
+        let q = Rect::new(&[10.0, 10.0], &[45.0, 45.0]);
+        for kws in [vec![], vec![4], vec![1, 2], vec![0, 1, 2, 3]] {
+            let full = suite.query(&q, &kws);
+            if full.len() < 3 {
+                continue;
+            }
+            let guard = QueryGuard::new().with_max_results(2);
+            let (got, stats) = suite.query_guarded(&q, &kws, &guard);
+            assert_eq!(got.len(), 2, "kws={kws:?}");
+            assert_eq!(stats.truncated_reason, Some(TruncatedReason::Limit));
+            assert!(got.iter().all(|i| full.contains(i)), "kws={kws:?}");
+        }
+        // An unguarded guard leaves the answer untouched.
+        let (all, stats) = suite.query_guarded(&q, &[1, 2], &QueryGuard::new());
+        let mut expected = suite.query(&q, &[1, 2]);
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+        assert_eq!(stats.truncated_reason, None);
     }
 
     #[test]

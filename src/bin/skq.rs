@@ -23,18 +23,51 @@
 //! counters and wall time) and `--metrics <path>` (write a Prometheus
 //! text-format snapshot of the build/query metric series). `rect` and
 //! `ball` additionally accept `--count-only` (stream the hits into a
-//! counter — no result set is materialized) and `--limit <t>` (stop
-//! after `t` hits, the paper's threshold-query primitive).
+//! counter — no result set is materialized), `--limit <t>` (stop
+//! after `t` hits, the paper's threshold-query primitive),
+//! `--deadline-ms <ms>` (abandon the query at a wall-clock deadline,
+//! keeping the partial answer) and `--max-results <m>` (a guarded
+//! result budget).
+//!
+//! Exit codes: `0` success, `1` usage errors (unknown command, missing
+//! flags), `2` a malformed flag value (e.g. a non-numeric coordinate in
+//! `--lo/--hi/--center/--at`) — reported as a single line without the
+//! usage dump, for scripting.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use structured_keyword_search::prelude::*;
+
+/// Usage errors (exit 1, with the usage text) vs. malformed flag
+/// values (exit 2, a single scripting-friendly line).
+#[derive(Debug)]
+enum CliError {
+    Usage(String),
+    BadArg(String),
+}
+
+impl From<String> for CliError {
+    fn from(s: String) -> Self {
+        CliError::Usage(s)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(s: &str) -> Self {
+        CliError::Usage(s.to_string())
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::BadArg(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Usage(e)) => {
             eprintln!("error: {e}");
             eprintln!();
             eprintln!("{USAGE}");
@@ -46,11 +79,11 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   skq demo <out.csv>
   skq stats <data.csv>
-  skq rect <data.csv> --lo a,b,… --hi a,b,… --tags t1,t2[,…] [--count-only] [--limit t] [--stats] [--metrics out.prom]
-  skq ball <data.csv> --center a,b,… --radius r --tags t1,t2[,…] [--count-only] [--limit t] [--stats] [--metrics out.prom]
+  skq rect <data.csv> --lo a,b,… --hi a,b,… --tags t1,t2[,…] [--count-only] [--limit t] [--deadline-ms ms] [--max-results m] [--stats] [--metrics out.prom]
+  skq ball <data.csv> --center a,b,… --radius r --tags t1,t2[,…] [--count-only] [--limit t] [--deadline-ms ms] [--max-results m] [--stats] [--metrics out.prom]
   skq nn   <data.csv> --at a,b,… --t N --tags t1,t2[,…] [--stats] [--metrics out.prom]";
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let cmd = args.first().ok_or("missing command")?.as_str();
     match cmd {
         "demo" => {
@@ -84,69 +117,102 @@ fn run(args: &[String]) -> Result<(), String> {
             let dim = loaded.dataset.dim();
             let count_only = opts.has("count-only");
             let limit: usize = match opts.get("limit") {
-                Some(v) => v.parse().map_err(|_| "bad --limit")?,
+                Some(v) => v.parse().map_err(|_| {
+                    CliError::BadArg(format!("--limit must be an integer, got {v:?}"))
+                })?,
                 None => usize::MAX,
             };
-            if cmd == "nn" && (count_only || limit != usize::MAX) {
-                return Err("--count-only/--limit apply to rect and ball queries".into());
+            let guard = build_guard(&opts)?;
+            let guarded = opts.has("deadline-ms") || opts.has("max-results");
+            if cmd == "nn" && (count_only || limit != usize::MAX || guarded) {
+                return Err(
+                    "--count-only/--limit/--deadline-ms/--max-results apply to rect and ball queries"
+                        .into(),
+                );
             }
             let started = std::time::Instant::now();
             // `hits` is None under --count-only: the matches stream into
             // a counter and no result vector exists to print.
             let (hits, stats): (Option<Vec<u32>>, QueryStats) = match cmd {
                 "rect" => {
-                    let lo = parse_coords_dim(opts.require("lo")?, dim, "lo")?;
-                    let hi = parse_coords_dim(opts.require("hi")?, dim, "hi")?;
+                    let lo = parse_coords_dim(opts.require("lo")?, dim, "lo")
+                        .map_err(CliError::BadArg)?;
+                    let hi = parse_coords_dim(opts.require("hi")?, dim, "hi")
+                        .map_err(CliError::BadArg)?;
+                    if lo.iter().zip(&hi).any(|(a, b)| a > b) {
+                        return Err(CliError::BadArg(
+                            "--lo must be coordinate-wise at most --hi".to_string(),
+                        ));
+                    }
                     let q = Rect::new(&lo, &hi);
                     let index = OrpKwIndex::build(&loaded.dataset, k);
                     let mut stats = QueryStats::new();
                     if count_only {
-                        let mut sink = LimitSink::new(CountSink::new(), limit);
+                        let mut sink =
+                            GuardedSink::new(LimitSink::new(CountSink::new(), limit), &guard);
                         let _ = index.query_sink(&q, &tag_ids, &mut sink, &mut stats);
-                        stats.emitted += sink.emitted();
-                        stats.truncated |= sink.truncated();
+                        finish_guarded(&mut stats, &sink);
                         (None, stats)
                     } else {
-                        let mut out = Vec::new();
-                        index.query_limited(&q, &tag_ids, limit, &mut out, &mut stats);
-                        (Some(out), stats)
+                        let mut sink = GuardedSink::new(LimitSink::new(Vec::new(), limit), &guard);
+                        let _ = index.query_sink(&q, &tag_ids, &mut sink, &mut stats);
+                        finish_guarded(&mut stats, &sink);
+                        (Some(sink.into_inner().into_inner()), stats)
                     }
                 }
                 "ball" => {
-                    let center =
-                        Point::new(&parse_coords_dim(opts.require("center")?, dim, "center")?);
-                    let radius: f64 = opts.require("radius")?.parse().map_err(|_| "bad radius")?;
+                    let center = Point::new(
+                        &parse_coords_dim(opts.require("center")?, dim, "center")
+                            .map_err(CliError::BadArg)?,
+                    );
+                    let radius: f64 = opts
+                        .require("radius")?
+                        .parse()
+                        .map_err(|_| CliError::BadArg("--radius must be a number".to_string()))?;
+                    if !radius.is_finite() || radius < 0.0 {
+                        return Err(CliError::BadArg(
+                            "--radius must be finite and non-negative".to_string(),
+                        ));
+                    }
                     let radius_sq = radius * radius;
                     let index = SrpKwIndex::build(&loaded.dataset, k);
                     let mut stats = QueryStats::new();
                     if count_only {
-                        let mut sink = LimitSink::new(CountSink::new(), limit);
+                        let mut sink =
+                            GuardedSink::new(LimitSink::new(CountSink::new(), limit), &guard);
                         let _ = index
                             .query_sq_sink(&center, radius_sq, &tag_ids, &mut sink, &mut stats);
-                        stats.emitted += sink.emitted();
-                        stats.truncated |= sink.truncated();
+                        finish_guarded(&mut stats, &sink);
                         (None, stats)
                     } else {
-                        let mut out = Vec::new();
-                        index.query_sq_limited(
-                            &center, radius_sq, &tag_ids, limit, &mut out, &mut stats,
-                        );
-                        (Some(out), stats)
+                        let mut sink = GuardedSink::new(LimitSink::new(Vec::new(), limit), &guard);
+                        let _ = index
+                            .query_sq_sink(&center, radius_sq, &tag_ids, &mut sink, &mut stats);
+                        finish_guarded(&mut stats, &sink);
+                        (Some(sink.into_inner().into_inner()), stats)
                     }
                 }
                 _ => {
-                    let at = Point::new(&parse_coords_dim(opts.require("at")?, dim, "at")?);
-                    let t: usize = opts.require("t")?.parse().map_err(|_| "bad t")?;
+                    let at = Point::new(
+                        &parse_coords_dim(opts.require("at")?, dim, "at")
+                            .map_err(CliError::BadArg)?,
+                    );
+                    let t: usize = opts
+                        .require("t")?
+                        .parse()
+                        .map_err(|_| CliError::BadArg("--t must be an integer".to_string()))?;
                     let index = LinfNnIndex::build(&loaded.dataset, k);
                     let (hits, stats) = index.query_with_stats(&at, t, &tag_ids);
                     (Some(hits), stats)
                 }
             };
             let elapsed = started.elapsed();
-            let truncation_note = if stats.truncated {
-                " (stopped at --limit)"
-            } else {
-                ""
+            let truncation_note = match stats.truncated_reason {
+                Some(TruncatedReason::DeadlineExceeded) => " (stopped: deadline exceeded)",
+                Some(TruncatedReason::Cancelled) => " (stopped: cancelled)",
+                Some(TruncatedReason::Limit) => " (stopped at --max-results)",
+                None if stats.truncated => " (stopped at --limit)",
+                None => "",
             };
             match hits {
                 None => println!("{} matches{truncation_note}", stats.emitted),
@@ -194,7 +260,7 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
-        other => Err(format!("unknown command {other}")),
+        other => Err(format!("unknown command {other}").into()),
     }
 }
 
@@ -283,6 +349,31 @@ fn parse_coords_dim(s: &str, dim: usize, flag: &str) -> Result<Vec<f64>, String>
         ));
     }
     Ok(coords)
+}
+
+/// Builds the query guard from `--deadline-ms` / `--max-results`.
+fn build_guard(opts: &Flags) -> Result<QueryGuard, CliError> {
+    let mut guard = QueryGuard::new();
+    if let Some(v) = opts.get("deadline-ms") {
+        let ms: u64 = v.parse().map_err(|_| {
+            CliError::BadArg(format!("--deadline-ms must be an integer, got {v:?}"))
+        })?;
+        guard = guard.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(v) = opts.get("max-results") {
+        let m: usize = v.parse().map_err(|_| {
+            CliError::BadArg(format!("--max-results must be an integer, got {v:?}"))
+        })?;
+        guard = guard.with_max_results(m);
+    }
+    Ok(guard)
+}
+
+/// Folds a guarded sink's accounting into the query stats.
+fn finish_guarded<S: ResultSink>(stats: &mut QueryStats, sink: &GuardedSink<S>) {
+    stats.emitted += sink.emitted();
+    stats.truncated |= sink.truncated();
+    stats.truncated_reason = stats.truncated_reason.or(sink.truncated_reason());
 }
 
 fn resolve_tags(loaded: &Loaded, tags: &str) -> Result<Vec<Keyword>, String> {
@@ -443,6 +534,93 @@ mod tests {
         let _ = index.query_sink(&q, &tags, &mut sink, &mut stats);
         assert_eq!(sink.count(), 3);
         assert_eq!(stats.reported, 3);
+    }
+
+    fn string_args(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn malformed_flag_values_are_bad_args() {
+        let dir = std::env::temp_dir().join("skq_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("demo.csv");
+        std::fs::write(&data, demo_csv()).unwrap();
+        let d = data.to_str().unwrap();
+        // A non-numeric coordinate in --lo is a malformed value (exit 2).
+        let bad = [
+            vec![
+                "rect", d, "--lo", "abc,8", "--hi", "200,10", "--tags", "pool,spa",
+            ],
+            vec![
+                "rect", d, "--lo", "100,8,9", "--hi", "200,10", "--tags", "pool,spa",
+            ],
+            vec![
+                "rect", d, "--lo", "300,8", "--hi", "200,10", "--tags", "pool,spa",
+            ],
+            vec![
+                "ball", d, "--center", "x,9", "--radius", "1", "--tags", "pool,spa",
+            ],
+            vec![
+                "ball", d, "--center", "150,9", "--radius", "-1", "--tags", "pool,spa",
+            ],
+            vec!["nn", d, "--at", "oops", "--t", "3", "--tags", "pool,spa"],
+            vec![
+                "rect",
+                d,
+                "--lo",
+                "1,8",
+                "--hi",
+                "200,10",
+                "--tags",
+                "pool,spa",
+                "--deadline-ms",
+                "soon",
+            ],
+            vec![
+                "rect",
+                d,
+                "--lo",
+                "1,8",
+                "--hi",
+                "200,10",
+                "--tags",
+                "pool,spa",
+                "--max-results",
+                "-3",
+            ],
+        ];
+        for args in bad {
+            assert!(
+                matches!(run(&string_args(&args)), Err(CliError::BadArg(_))),
+                "{args:?}"
+            );
+        }
+        // Unknown commands and missing flags remain usage errors (exit 1).
+        assert!(matches!(
+            run(&string_args(&["bogus"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&string_args(&["rect", d, "--tags", "pool,spa"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn guard_flags_wire_through() {
+        let loaded = parse_csv(&demo_csv()).unwrap();
+        let tags = resolve_tags(&loaded, "pool,pet-friendly").unwrap();
+        let index = OrpKwIndex::build(&loaded.dataset, tags.len());
+        let q = Rect::new(&[0.0, 0.0], &[300.0, 10.0]);
+        let opts = parse_flags(&string_args(&["--max-results", "2"])).unwrap();
+        let guard = build_guard(&opts).unwrap();
+        let mut stats = QueryStats::new();
+        let mut sink = GuardedSink::new(LimitSink::new(Vec::new(), usize::MAX), &guard);
+        let _ = index.query_sink(&q, &tags, &mut sink, &mut stats);
+        finish_guarded(&mut stats, &sink);
+        assert_eq!(sink.into_inner().into_inner().len(), 2);
+        assert_eq!(stats.truncated_reason, Some(TruncatedReason::Limit));
     }
 
     #[test]

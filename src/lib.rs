@@ -66,8 +66,18 @@ pub use skq_obs as obs;
 pub use skq_workload as workload;
 
 /// The most commonly used types, re-exported flat.
+///
+/// Robustness types ride along: every index has a fallible
+/// `try_build`/`try_query_into` surface returning
+/// [`SkqError`](prelude::SkqError), and any query can run under a
+/// [`QueryGuard`](prelude::QueryGuard) (deadline,
+/// [`CancelToken`](prelude::CancelToken), result budget) enforced by a
+/// [`GuardedSink`](prelude::GuardedSink) — truncation is reported via
+/// [`TruncatedReason`](prelude::TruncatedReason) in the query stats.
 pub mod prelude {
     pub use skq_core::dataset::Dataset;
+    pub use skq_core::error::SkqError;
+    pub use skq_core::guard::{CancelToken, GuardedSink, QueryGuard};
     pub use skq_core::ksi::KsiIndex;
     pub use skq_core::lc::LcKwIndex;
     pub use skq_core::naive::{FullScan, KeywordsFirst, StructuredFirst};
@@ -80,7 +90,7 @@ pub mod prelude {
     };
     pub use skq_core::sp::{SpKwIndex, SpStrategy};
     pub use skq_core::srp::SrpKwIndex;
-    pub use skq_core::stats::QueryStats;
+    pub use skq_core::stats::{QueryStats, TruncatedReason};
     pub use skq_geom::{
         Ball, ConvexPolytope, Halfspace, KdTree, Point, Polygon, RangeTree2D, RankSpace, Rect,
         Region, Simplex,

@@ -1,0 +1,202 @@
+//! Chaos tests (`cargo test --features failpoints`): every registered
+//! fail point, when armed, must surface as a typed `Err` (or an
+//! isolated shard failure) — never an uncaught panic — and disarming it
+//! must leave every index able to build and answer correctly.
+//!
+//! The fail-point registry is process-global, so these tests serialize
+//! on a shared mutex instead of relying on distinct site names.
+
+#![cfg(feature = "failpoints")]
+
+use std::sync::Mutex;
+
+use structured_keyword_search::core::batch::{run_batch_isolated, BatchQuery, ShardOutcome};
+use structured_keyword_search::core::dynamic::DynamicOrpKw;
+use structured_keyword_search::core::failpoints::{self, FailAction};
+use structured_keyword_search::core::guard::QueryGuard;
+use structured_keyword_search::prelude::*;
+
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes a chaos test and guarantees a clean registry on both
+/// entry and (via `Drop`) exit, even if the test panics.
+struct ChaosGuard<'a>(#[allow(dead_code)] std::sync::MutexGuard<'a, ()>);
+
+impl<'a> ChaosGuard<'a> {
+    fn acquire() -> Self {
+        let guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        failpoints::clear();
+        Self(guard)
+    }
+}
+
+impl Drop for ChaosGuard<'_> {
+    fn drop(&mut self) {
+        failpoints::clear();
+    }
+}
+
+fn dataset() -> Dataset {
+    // Integer coordinates so every problem module (including L2NN-KW's
+    // integer-coordinate requirement) accepts the same data.
+    Dataset::from_parts(
+        (0..256)
+            .map(|i| {
+                let x = (i % 16) as f64;
+                let y = (i / 16) as f64;
+                (Point::new2(x, y), vec![0u32, 1, 2 + (i % 3) as u32])
+            })
+            .collect(),
+    )
+}
+
+/// Drives the public build entry point matching a fail-point site.
+/// Returns the build outcome as `Result<(), SkqError>`.
+fn drive(site: &str, d: &Dataset) -> Result<(), SkqError> {
+    let rects: Vec<(Rect, Vec<Keyword>)> = (0..64)
+        .map(|i| {
+            let x = (i % 8) as f64;
+            (
+                Rect::new(&[x, x], &[x + 1.0, x + 2.0]),
+                vec![0u32, 1, 2 + (i % 3) as u32],
+            )
+        })
+        .collect();
+    let docs: Vec<Document> = (0..64)
+        .map(|i| Document::new(vec![0u32, 1, 2 + (i % 3) as u32]))
+        .collect();
+    match site {
+        "orp::build" | "framework::build" => OrpKwIndex::try_build(d, 2).map(|_| ()),
+        "rr::build" => RrKwIndex::try_build(&rects, 2).map(|_| ()),
+        "nn_linf::build" => LinfNnIndex::try_build(d, 2).map(|_| ()),
+        "nn_l2::build" => L2NnIndex::try_build(d, 2).map(|_| ()),
+        "lc::build" => LcKwIndex::try_build(d, 2).map(|_| ()),
+        "sp::build" => SpKwIndex::try_build(d, 2).map(|_| ()),
+        "srp::build" => SrpKwIndex::try_build(d, 2).map(|_| ()),
+        "ksi::build" => KsiIndex::try_build(&docs, 2).map(|_| ()),
+        "dynamic::build_block" => {
+            let mut dynamic = DynamicOrpKw::new(2, 2);
+            // 128 inserts fill the buffer; the 128th triggers the first
+            // block build, which hits the armed fail point.
+            for i in 0..128u32 {
+                dynamic.try_insert(Point::new2((i % 16) as f64, (i / 16) as f64), vec![0, 1])?;
+            }
+            Ok(())
+        }
+        "batch::shard" => {
+            let index = OrpKwIndex::build(d, 2);
+            let queries = vec![
+                BatchQuery {
+                    rect: Rect::full(2),
+                    keywords: vec![0, 1],
+                };
+                4
+            ];
+            run_batch_isolated(&index, &queries, 2, &QueryGuard::new())
+                .into_results()
+                .map(|_| ())
+        }
+        other => panic!("no driver for fail-point site {other}"),
+    }
+}
+
+#[test]
+fn every_site_surfaces_as_typed_error_and_recovers() {
+    let _guard = ChaosGuard::acquire();
+    let d = dataset();
+    for &site in failpoints::SITES {
+        failpoints::inject(site, FailAction::Err, None);
+        let err = match drive(site, &d) {
+            Err(e) => e,
+            Ok(()) => panic!("site {site}: armed fail point did not surface"),
+        };
+        // Build sites return the injected Internal error verbatim; the
+        // batch site funnels the shard panic into ShardPanicked.
+        match site {
+            "batch::shard" => {
+                assert!(
+                    matches!(err, SkqError::ShardPanicked { .. }),
+                    "{site}: {err}"
+                )
+            }
+            _ => {
+                assert!(matches!(err, SkqError::Internal(_)), "{site}: {err}");
+                assert!(err.to_string().contains(site), "{site}: {err}");
+            }
+        }
+        failpoints::clear();
+        drive(site, &d).unwrap_or_else(|e| panic!("site {site} did not recover: {e}"));
+    }
+}
+
+#[test]
+fn injected_failure_does_not_poison_a_dynamic_index() {
+    let _guard = ChaosGuard::acquire();
+    let mut dynamic = DynamicOrpKw::new(2, 2);
+    let mut expected = Vec::new();
+    for i in 0..127u32 {
+        let h = dynamic.insert(Point::new2((i % 16) as f64, (i / 16) as f64), vec![0, 1]);
+        expected.push(h);
+    }
+    // The 128th insert triggers the first block build — inject there.
+    failpoints::inject("dynamic::build_block", FailAction::Err, None);
+    let err = dynamic
+        .try_insert(Point::new2(0.0, 0.0), vec![0, 1])
+        .unwrap_err();
+    assert!(matches!(err, SkqError::Internal(_)), "{err}");
+    // The failed insert rolled back: the index still answers exactly
+    // the pre-failure contents.
+    let mut got = dynamic.query(&Rect::full(2), &[0, 1]);
+    got.sort();
+    assert_eq!(got, expected);
+    // Disarmed, the same insert succeeds and the index stays correct.
+    failpoints::clear();
+    let h = dynamic
+        .try_insert(Point::new2(0.0, 0.0), vec![0, 1])
+        .unwrap();
+    expected.push(h);
+    let mut got = dynamic.query(&Rect::full(2), &[0, 1]);
+    got.sort();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn batch_shards_retry_and_isolate_injected_panics() {
+    let _guard = ChaosGuard::acquire();
+    let d = dataset();
+    let index = OrpKwIndex::build(&d, 2);
+    let queries = vec![
+        BatchQuery {
+            rect: Rect::full(2),
+            keywords: vec![0, 1],
+        };
+        8
+    ];
+    let expected = index.query(&Rect::full(2), &[0, 1]).len();
+
+    // One injected panic: the first shard attempt dies, the bounded
+    // retry succeeds, and the batch completes.
+    failpoints::inject("batch::shard", FailAction::Panic, Some(1));
+    let report = run_batch_isolated(&index, &queries, 2, &QueryGuard::new());
+    assert!(report.is_complete());
+    assert!(report.outcomes.contains(&ShardOutcome::Retried));
+    for r in report.into_results().unwrap() {
+        assert_eq!(r.len(), expected);
+    }
+
+    // A persistent panic exhausts the retry: the shard fails but the
+    // others still complete, and nothing escapes as a panic.
+    failpoints::inject("batch::shard", FailAction::Panic, None);
+    let report = run_batch_isolated(&index, &queries, 2, &QueryGuard::new());
+    assert!(!report.is_complete());
+    assert!(report.outcomes.iter().all(|o| *o == ShardOutcome::Failed));
+
+    // Disarmed, the same index and queries run clean — the injected
+    // panics poisoned nothing.
+    failpoints::clear();
+    let report = run_batch_isolated(&index, &queries, 2, &QueryGuard::new());
+    assert!(report.is_complete());
+    for r in report.into_results().unwrap() {
+        assert_eq!(r.len(), expected);
+    }
+}

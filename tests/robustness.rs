@@ -1,0 +1,225 @@
+//! Robustness-layer acceptance tests: deadlines, cancellation, result
+//! budgets, graceful build degradation, duplicate-id rejection, and the
+//! constructibility of every [`SkqError`] variant from a public entry
+//! point. (The `Internal` variant only arises from injected fail
+//! points; `tests/chaos.rs` covers it under `--features failpoints`.)
+
+use std::time::Duration;
+
+use structured_keyword_search::core::batch::{run_batch_isolated, BatchQuery, ShardOutcome};
+use structured_keyword_search::core::dynamic::DynamicOrpKw;
+use structured_keyword_search::core::planner::{BuildTier, Plan, PlannedOrpKw};
+use structured_keyword_search::core::suite::OrpKwSuite;
+use structured_keyword_search::prelude::*;
+
+fn grid_dataset(n: usize) -> Dataset {
+    // A deterministic 2-D grid where every point carries both query
+    // keywords plus a spreader tag, so OUT is large and controllable.
+    Dataset::from_parts(
+        (0..n)
+            .map(|i| {
+                let x = (i % 64) as f64;
+                let y = (i / 64) as f64;
+                (Point::new2(x, y), vec![0u32, 1, 2 + (i % 5) as u32])
+            })
+            .collect(),
+    )
+}
+
+fn counter(name: &'static str) -> u64 {
+    structured_keyword_search::obs::global()
+        .counter(name, &[])
+        .get()
+}
+
+#[test]
+fn deadline_returns_partial_results_with_reason() {
+    let d = grid_dataset(4000);
+    let index = OrpKwIndex::build(&d, 2);
+    let q = Rect::full(2);
+    let full = index.query(&q, &[0, 1]);
+    assert_eq!(full.len(), 4000);
+
+    let before = counter("skq_query_deadline_exceeded");
+    // An already-expired deadline: the guard trips at the first
+    // emission check, so the partial result is a (strict) prefix of
+    // the full answer and the stats carry the reason.
+    let guard = QueryGuard::new().with_deadline(Duration::ZERO);
+    std::thread::sleep(Duration::from_millis(2));
+    let mut sink = GuardedSink::new(Vec::new(), &guard);
+    let mut stats = QueryStats::new();
+    let _ = index.query_sink(&q, &[0, 1], &mut sink, &mut stats);
+    assert_eq!(
+        sink.truncated_reason(),
+        Some(TruncatedReason::DeadlineExceeded)
+    );
+    let partial = sink.into_inner();
+    assert!(partial.len() < full.len());
+    assert!(partial.iter().all(|i| full.contains(i)));
+    assert_eq!(counter("skq_query_deadline_exceeded"), before + 1);
+
+    // A generous deadline leaves the answer untouched.
+    let guard = QueryGuard::new().with_deadline(Duration::from_secs(600));
+    let mut sink = GuardedSink::new(Vec::new(), &guard);
+    let mut stats = QueryStats::new();
+    let _ = index.query_sink(&q, &[0, 1], &mut sink, &mut stats);
+    assert_eq!(sink.truncated_reason(), None);
+    assert_eq!(sink.into_inner().len(), full.len());
+}
+
+#[test]
+fn cancellation_stops_the_query_and_counts() {
+    let d = grid_dataset(2000);
+    let index = OrpKwIndex::build(&d, 2);
+    let before = counter("skq_query_cancelled");
+    let token = CancelToken::new();
+    token.cancel();
+    let guard = QueryGuard::new().with_cancel(token);
+    assert_eq!(guard.check(), Err(SkqError::Cancelled));
+    let mut sink = GuardedSink::new(Vec::new(), &guard);
+    let mut stats = QueryStats::new();
+    let _ = index.query_sink(&Rect::full(2), &[0, 1], &mut sink, &mut stats);
+    assert_eq!(sink.truncated_reason(), Some(TruncatedReason::Cancelled));
+    assert_eq!(counter("skq_query_cancelled"), before + 1);
+}
+
+#[test]
+fn result_budget_caps_suite_and_dynamic_paths() {
+    let d = grid_dataset(3000);
+    let guard = QueryGuard::new().with_max_results(7);
+
+    let suite = OrpKwSuite::build(&d, 2);
+    let (got, stats) = suite.query_guarded(&Rect::full(2), &[0, 1], &guard);
+    assert_eq!(got.len(), 7);
+    assert_eq!(stats.truncated_reason, Some(TruncatedReason::Limit));
+
+    let mut dynamic = DynamicOrpKw::new(2, 2);
+    for i in 0..1000u32 {
+        dynamic.insert(Point::new2((i % 50) as f64, (i / 50) as f64), vec![0, 1]);
+    }
+    let (got, stats) = dynamic.query_guarded(&Rect::full(2), &[0, 1], &guard);
+    assert_eq!(got.len(), 7);
+    assert_eq!(stats.truncated_reason, Some(TruncatedReason::Limit));
+}
+
+#[test]
+fn tiny_budget_degrades_builds_but_not_answers() {
+    let d = grid_dataset(2000);
+    let q = Rect::new(&[3.0, 3.0], &[40.0, 20.0]);
+    let kws = [0u32, 1u32];
+
+    let full = PlannedOrpKw::try_build(&d, 2).unwrap();
+    assert_eq!(full.tier(), BuildTier::Framework);
+    let expected = full.query_with_plan(&q, &kws, Plan::Framework);
+    assert!(!expected.is_empty());
+
+    // Between the LC and ORP footprints → the linear tier; one word →
+    // nothing is admitted and the naive engines serve.
+    let orp_words = OrpKwIndex::build(&d, 2).space_words();
+    let lc_words = LcKwIndex::build(&d, 2).space_words();
+    assert!(lc_words < orp_words, "lc={lc_words} orp={orp_words}");
+    let mid = (lc_words + orp_words) / 2;
+    for (budget, tier) in [(mid, BuildTier::Linear), (1, BuildTier::Naive)] {
+        let before = structured_keyword_search::obs::global()
+            .counter("skq_planner_build_tier_total", &[("tier", tier.label())])
+            .get();
+        let planner = PlannedOrpKw::try_build_with_budget(&d, 2, Some(budget)).unwrap();
+        assert_eq!(planner.tier(), tier);
+        assert_eq!(
+            structured_keyword_search::obs::global()
+                .counter("skq_planner_build_tier_total", &[("tier", tier.label())])
+                .get(),
+            before + 1,
+            "build tier must be visible in telemetry"
+        );
+        assert_eq!(planner.query_with_plan(&q, &kws, Plan::Framework), expected);
+        let (got, _, stats) = planner.query_guarded(&q, &kws, &QueryGuard::new());
+        assert_eq!(got, expected);
+        assert_eq!(stats.truncated_reason, None);
+    }
+
+    // The degraded tier is stamped into the query log's plan label
+    // whenever the framework plan runs on a fallback engine.
+    let planner = PlannedOrpKw::try_build_with_budget(&d, 2, Some(mid)).unwrap();
+    // Full-space + omnipresent keywords: the framework plan wins.
+    let (_, plan) = planner.query(&Rect::full(2), &kws);
+    if plan == Plan::Framework {
+        let recent = structured_keyword_search::obs::query_log().recent(1);
+        assert_eq!(recent[0].plan, Some("framework@linear"));
+    }
+}
+
+#[test]
+fn duplicate_id_insertion_is_rejected() {
+    let mut idx = DynamicOrpKw::new(2, 2);
+    let a = idx
+        .try_insert_with_id(3, Point::new2(1.0, 1.0), vec![0, 1])
+        .unwrap();
+    let err = idx
+        .try_insert_with_id(3, Point::new2(2.0, 2.0), vec![0, 1])
+        .unwrap_err();
+    assert!(matches!(err, SkqError::InvalidQuery(_)), "{err}");
+    assert!(err.to_string().contains("duplicate object id 3"), "{err}");
+    // The failed insert is a no-op: the index still holds exactly one
+    // object and answers correctly.
+    assert_eq!(idx.len(), 1);
+    assert_eq!(idx.query(&Rect::full(2), &[0, 1]), vec![a]);
+}
+
+#[test]
+fn every_error_variant_is_reachable_from_public_api() {
+    // InvalidDataset — a NaN coordinate is rejected at construction.
+    let err = Dataset::try_from_parts(vec![(Point::new2(f64::NAN, 0.0), vec![0u32])]).unwrap_err();
+    assert!(matches!(err, SkqError::InvalidDataset(_)), "{err}");
+    assert_eq!(err.kind(), "invalid_dataset");
+
+    // InvalidQuery — duplicate query keywords.
+    let d = grid_dataset(64);
+    let index = OrpKwIndex::try_build(&d, 2).unwrap();
+    let err = index
+        .try_query_into(&Rect::full(2), &[0, 0], &mut Vec::new())
+        .unwrap_err();
+    assert!(matches!(err, SkqError::InvalidQuery(_)), "{err}");
+
+    // BuildBudgetExceeded — a one-word space budget.
+    let err = match OrpKwIndex::try_build_with_budget(&d, 2, Some(1)) {
+        Err(e) => e,
+        Ok(_) => panic!("a one-word budget must not admit the index"),
+    };
+    assert!(
+        matches!(err, SkqError::BuildBudgetExceeded { budget: 1, .. }),
+        "{err}"
+    );
+
+    // DeadlineExceeded / Cancelled — guard checks.
+    let guard = QueryGuard::new().with_deadline(Duration::ZERO);
+    std::thread::sleep(Duration::from_millis(2));
+    assert_eq!(guard.check(), Err(SkqError::DeadlineExceeded));
+    let token = CancelToken::new();
+    token.cancel();
+    let guard = QueryGuard::new().with_cancel(token);
+    assert_eq!(guard.check(), Err(SkqError::Cancelled));
+
+    // ShardPanicked — a malformed per-shard query (wrong keyword arity
+    // panics inside the worker) survives isolation as a Failed shard
+    // and surfaces as a typed error from into_results().
+    let queries: Vec<BatchQuery> = (0..8)
+        .map(|_| BatchQuery {
+            rect: Rect::full(2),
+            keywords: vec![0, 1],
+        })
+        .chain(std::iter::once(BatchQuery {
+            rect: Rect::full(2),
+            keywords: vec![0, 1, 2], // arity 3 against a k=2 index
+        }))
+        .collect();
+    let report = run_batch_isolated(&index, &queries, 3, &QueryGuard::new());
+    assert!(!report.is_complete());
+    assert!(report.outcomes.contains(&ShardOutcome::Failed));
+    let err = report.into_results().unwrap_err();
+    assert!(matches!(err, SkqError::ShardPanicked { .. }), "{err}");
+    assert_eq!(err.kind(), "shard_panicked");
+
+    // Internal — only constructible via fail-point injection; covered
+    // by tests/chaos.rs under `--features failpoints`.
+}
