@@ -102,11 +102,14 @@ impl BatchReport {
 /// Panics if any query violates the index's keyword contract (exactly
 /// `k` distinct keywords), or if a shard fails through its retry (use
 /// [`run_batch_isolated`] to observe failures as values instead).
+// The panic is this wrapper's documented contract;
+// `run_batch_isolated` is the fallible surface.
+#[allow(clippy::disallowed_macros)]
 pub fn run_batch(index: &OrpKwIndex, queries: &[BatchQuery], threads: usize) -> Vec<Vec<u32>> {
     let report = run_batch_isolated(index, queries, threads, &QueryGuard::default());
     report
         .into_results()
-        .unwrap_or_else(|e| panic!("worker panicked: {e}"))
+        .unwrap_or_else(|e| panic!("worker panicked: {e}")) // skq-lint: allow(L01) documented panicking wrapper over run_batch_isolated
 }
 
 /// One shard's run: its per-query results and aggregated stats when it
@@ -144,8 +147,11 @@ pub fn run_batch_isolated(
     // the per-query path) and exported once per batch; each shard also
     // reports how many results it emitted.
     let run_shard = |shard: &[BatchQuery]| -> (Vec<Vec<u32>>, QueryStats) {
+        // Chaos-only: an armed fail point must look like a real worker
+        // panic so the catch_unwind isolation path is the thing tested.
+        #[allow(clippy::disallowed_macros)]
         if let Err(e) = failpoints::check("batch::shard") {
-            panic!("{e}");
+            panic!("{e}"); // skq-lint: allow(L01) chaos injection; isolated by catch_unwind
         }
         let mut agg = QueryStats::new();
         let results: Vec<Vec<u32>> = shard

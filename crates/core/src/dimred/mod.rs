@@ -239,6 +239,83 @@ impl DimRedTree {
     }
 }
 
+#[cfg(feature = "debug-invariants")]
+impl DimRedTree {
+    /// Deep structural validation (`debug-invariants`; DESIGN.md §12):
+    /// checks §4's x-extent ordering and nesting, level progression,
+    /// the pivot partition across the tree, the local→global id maps,
+    /// and recursively every node's secondary index.
+    pub fn validate(&self) -> Result<(), crate::invariants::InvariantViolation> {
+        use crate::invariants::InvariantViolation as V;
+        let n = self.dataset.len();
+        let mut is_pivot = vec![false; n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.sigma.0 > node.sigma.1 {
+                return Err(V::new(
+                    "dimred::sigma",
+                    format!(
+                        "node {i}: inverted x-extent ({}, {})",
+                        node.sigma.0, node.sigma.1
+                    ),
+                ));
+            }
+            for &c in &node.children {
+                let Some(child) = self.nodes.get(c as usize) else {
+                    return Err(V::new(
+                        "dimred::tree_shape",
+                        format!("node {i} references child {c}, out of range"),
+                    ));
+                };
+                if child.level != node.level + 1 {
+                    return Err(V::new(
+                        "dimred::tree_shape",
+                        format!(
+                            "child {c} at level {} under node {i} at level {}",
+                            child.level, node.level
+                        ),
+                    ));
+                }
+                if child.sigma.0 < node.sigma.0 || child.sigma.1 > node.sigma.1 {
+                    return Err(V::new(
+                        "dimred::sigma",
+                        format!("x-extent of child {c} escapes its parent node {i}"),
+                    ));
+                }
+            }
+            for &e in &node.pivots {
+                if e as usize >= n {
+                    return Err(V::new(
+                        "dimred::pivot_partition",
+                        format!("node {i} stores pivot {e}, out of range"),
+                    ));
+                }
+                if std::mem::replace(&mut is_pivot[e as usize], true) {
+                    return Err(V::new(
+                        "dimred::pivot_partition",
+                        format!("object {e} is a pivot at two nodes"),
+                    ));
+                }
+            }
+            for &g in &node.local {
+                if g as usize >= n {
+                    return Err(V::new(
+                        "dimred::local_map",
+                        format!("node {i}: local→global entry {g} out of range"),
+                    ));
+                }
+            }
+            node.secondary.validate()?;
+        }
+        if let Some(orphan) = is_pivot.iter().position(|&stored| !stored) {
+            return Err(V::new(
+                "dimred::pivot_partition",
+                format!("object {orphan} is a pivot at no node"),
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

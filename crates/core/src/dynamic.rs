@@ -20,7 +20,7 @@ use skq_geom::{Point, Rect};
 use skq_invidx::Keyword;
 
 use crate::dataset::Dataset;
-use crate::error::SkqError;
+use crate::error::{validate, SkqError};
 use crate::failpoints;
 use crate::fastmap::FxHashMap;
 use crate::guard::{GuardedSink, QueryGuard};
@@ -110,9 +110,12 @@ impl DynamicOrpKw {
     /// # Panics
     ///
     /// Panics on dimension mismatch or an empty document.
+    // The panic is this wrapper's documented contract; `try_insert` is
+    // the fallible surface.
+    #[allow(clippy::disallowed_macros)]
     pub fn insert(&mut self, point: Point, keywords: Vec<Keyword>) -> ObjectHandle {
         self.try_insert(point, keywords)
-            .unwrap_or_else(|e| panic!("{e}"))
+            .unwrap_or_else(|e| panic!("{e}")) // skq-lint: allow(L01) documented panicking wrapper over try_insert
     }
 
     /// Fallible [`insert`](Self::insert). If the amortized block
@@ -327,6 +330,27 @@ impl DynamicOrpKw {
         self.query_impl(q, keywords, limit, &QueryGuard::default())
     }
 
+    /// Fallible query: validates the rectangle and the keyword-count
+    /// contract up front, then reports like [`query`](Self::query),
+    /// appending the live matching handles to `out`.
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidQuery` on a dimension mismatch, NaN bounds, or
+    /// a wrong number of distinct keywords.
+    pub fn try_query_into(
+        &self,
+        q: &Rect,
+        keywords: &[Keyword],
+        out: &mut Vec<ObjectHandle>,
+    ) -> Result<QueryStats, SkqError> {
+        validate::rect_query(q, self.dim)?;
+        validate::distinct_keywords(keywords, self.k)?;
+        let (handles, stats) = self.query_with_stats(q, keywords);
+        out.extend(handles);
+        Ok(stats)
+    }
+
     /// Guarded query: like [`query_with_stats`](Self::query_with_stats)
     /// but subject to `guard`'s deadline, cancellation token, and
     /// result budget. When the guard trips, the partial results
@@ -455,6 +479,81 @@ impl DynamicOrpKw {
             .map(|b| b.index.space_words() + b.source.len() * (self.dim + 4))
             .sum();
         blocks + self.buffer.len() * (self.dim + 4) + self.live_set.len() * 2
+    }
+
+    /// Deep structural validation (`debug-invariants`; DESIGN.md §12):
+    /// re-derives the logarithmic-method bookkeeping — buffer and block
+    /// capacities, handle/source alignment per block, global handle
+    /// uniqueness, and that every live handle is actually stored — then
+    /// validates each block's static ORP-KW index.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, by name.
+    #[cfg(feature = "debug-invariants")]
+    pub fn validate(&self) -> Result<(), crate::invariants::InvariantViolation> {
+        use crate::invariants::InvariantViolation as V;
+        // After a failed rebuild the whole pool parks in the buffer with
+        // every block slot empty (degraded mode) — only flag an oversized
+        // buffer when an indexed block coexists with it.
+        if self.buffer.len() > BASE_BLOCK && self.blocks.iter().any(Option::is_some) {
+            return Err(V::new(
+                "dynamic::buffer_bound",
+                format!(
+                    "insertion buffer holds {} objects (cap {BASE_BLOCK}) alongside built blocks",
+                    self.buffer.len()
+                ),
+            ));
+        }
+        let mut seen: FxHashMap<u64, ()> = FxHashMap::default();
+        let mut record = |h: ObjectHandle| -> Result<(), V> {
+            if seen.insert(h.0, ()).is_some() {
+                return Err(V::new(
+                    "dynamic::handle_unique",
+                    format!("handle {} stored twice", h.0),
+                ));
+            }
+            Ok(())
+        };
+        for &(_, _, h) in &self.buffer {
+            record(h)?;
+        }
+        for (slot, block) in self.blocks.iter().enumerate() {
+            let Some(block) = block else { continue };
+            let cap = BASE_BLOCK << slot;
+            if block.source.len() > cap {
+                return Err(V::new(
+                    "dynamic::carry_bound",
+                    format!(
+                        "block {slot} holds {} objects, capacity {cap}",
+                        block.source.len()
+                    ),
+                ));
+            }
+            if block.handles.len() != block.source.len()
+                || block
+                    .handles
+                    .iter()
+                    .zip(&block.source)
+                    .any(|(&h, &(_, _, sh))| h != sh)
+            {
+                return Err(V::new(
+                    "dynamic::handle_alignment",
+                    format!("block {slot}: id→handle map disagrees with retained source"),
+                ));
+            }
+            for &h in &block.handles {
+                record(h)?;
+            }
+            block.index.validate()?;
+        }
+        if let Some(&lost) = self.live_set.keys().find(|h| !seen.contains_key(h)) {
+            return Err(V::new(
+                "dynamic::live_handles",
+                format!("live handle {lost} is stored in no block or buffer"),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -735,5 +834,60 @@ mod tests {
                 + idx.query(&Rect::full(2), &[3, 4]).len(),
             100
         );
+    }
+
+    /// Deliberate corruption must be rejected with a descriptive
+    /// invariant name (`debug-invariants` acceptance criterion).
+    #[cfg(feature = "debug-invariants")]
+    mod corruption {
+        use super::*;
+
+        fn filled() -> DynamicOrpKw {
+            let mut idx = DynamicOrpKw::new(2, 2);
+            let mut rng = StdRng::seed_from_u64(5);
+            for _ in 0..400 {
+                let p = Point::new2(rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0));
+                idx.insert(p, vec![rng.gen_range(0..4), 4]);
+            }
+            idx.validate().unwrap();
+            idx
+        }
+
+        #[test]
+        fn misaligned_handle_map_names_handle_alignment() {
+            let mut idx = filled();
+            let block = idx
+                .blocks
+                .iter_mut()
+                .flatten()
+                .next()
+                .expect("400 inserts form at least one block");
+            block.handles.pop();
+            let err = idx.validate().unwrap_err();
+            assert_eq!(err.invariant(), "dynamic::handle_alignment");
+        }
+
+        #[test]
+        fn phantom_live_handle_names_live_handles() {
+            let mut idx = filled();
+            idx.live_set.insert(999_999, ());
+            let err = idx.validate().unwrap_err();
+            assert_eq!(err.invariant(), "dynamic::live_handles");
+        }
+
+        #[test]
+        fn duplicated_handle_names_handle_unique() {
+            let mut idx = filled();
+            let dup = idx
+                .blocks
+                .iter()
+                .flatten()
+                .next()
+                .expect("at least one block")
+                .handles[0];
+            idx.buffer.push((Point::new2(1.0, 1.0), vec![0, 4], dup));
+            let err = idx.validate().unwrap_err();
+            assert_eq!(err.invariant(), "dynamic::handle_unique");
+        }
     }
 }

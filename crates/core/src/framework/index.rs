@@ -378,6 +378,9 @@ impl<P: Partitioner> TransformedIndex<P> {
         self.visit(0, root_region, &kws, classify, accept, sink, stats)
     }
 
+    // The recursion threads every traversal input (region, keyword
+    // set, classify/accept callbacks, sink, stats) explicitly instead
+    // of a context struct rebuilt per node.
     #[allow(clippy::too_many_arguments)]
     fn visit<S: ResultSink>(
         &self,
@@ -520,6 +523,135 @@ impl<P: Partitioner> TransformedIndex<P> {
             // Combo tables parallel children when present.
             if !n.combos.is_empty() && n.combos.len() != n.children.len() {
                 return Err(format!("node {i}: combo/children length mismatch"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(feature = "debug-invariants")]
+impl<P: Partitioner> TransformedIndex<P> {
+    /// Deep structural validation (DESIGN.md §12): re-derives the §3
+    /// invariants from the built structure rather than trusting the
+    /// build path's bookkeeping. Requires the weight-halving balance
+    /// guarantee; use [`validate_with`](Self::validate_with) for
+    /// partitioners without one.
+    pub fn validate(&self) -> Result<(), crate::invariants::InvariantViolation> {
+        self.validate_with(true)
+    }
+
+    /// Like [`validate`](Self::validate) with the weight-balance check
+    /// made optional (the midpoint quadtree halves area, not weight).
+    pub fn validate_with(
+        &self,
+        require_balance: bool,
+    ) -> Result<(), crate::invariants::InvariantViolation> {
+        use crate::invariants::InvariantViolation as V;
+        // The §3.2 arithmetic invariants: large-keyword cap L ≤ N_u^(1/k),
+        // materialized lists < τ, child weight ≤ half, combo parallelism.
+        self.check_invariants_with(require_balance)
+            .map_err(|d| V::new("framework::section3", d))?;
+        let n = self.docs.len();
+
+        // Tree shape: child ids in range, every non-root node the child
+        // of exactly one parent, levels increasing by one, child cells
+        // nested in their parent's (when the cell type can answer).
+        let mut child_of = vec![false; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &c in &node.children {
+                let c = c as usize;
+                if c >= self.nodes.len() {
+                    return Err(V::new(
+                        "framework::tree_shape",
+                        format!("node {i} references child {c}, out of range"),
+                    ));
+                }
+                if std::mem::replace(&mut child_of[c], true) {
+                    return Err(V::new(
+                        "framework::tree_shape",
+                        format!("node {c} has two parents"),
+                    ));
+                }
+                if self.nodes[c].level != node.level + 1 {
+                    return Err(V::new(
+                        "framework::tree_shape",
+                        format!(
+                            "child {c} at level {} under parent {i} at level {}",
+                            self.nodes[c].level, node.level
+                        ),
+                    ));
+                }
+                if let Some(false) = P::cell_nested(&node.cell, &self.nodes[c].cell) {
+                    return Err(V::new(
+                        "framework::cell_nesting",
+                        format!("cell of node {c} escapes its parent node {i}"),
+                    ));
+                }
+            }
+        }
+        if let Some(i) = child_of.iter().skip(1).position(|&reached| !reached) {
+            return Err(V::new(
+                "framework::tree_shape",
+                format!("node {} is unreachable from the root", i + 1),
+            ));
+        }
+
+        // Pivot partition (§3.2): every object is stored at exactly one
+        // node — boundary objects at internal nodes, the whole active
+        // set at leaves.
+        let mut owner: Vec<u32> = vec![u32::MAX; n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &e in &node.pivots {
+                if e as usize >= n {
+                    return Err(V::new(
+                        "framework::pivot_partition",
+                        format!("node {i} stores object {e}, out of range"),
+                    ));
+                }
+                if owner[e as usize] != u32::MAX {
+                    return Err(V::new(
+                        "framework::pivot_partition",
+                        format!("object {e} stored at nodes {} and {i}", owner[e as usize]),
+                    ));
+                }
+                owner[e as usize] = i as u32;
+            }
+        }
+        if let Some(orphan) = owner.iter().position(|&o| o == u32::MAX) {
+            return Err(V::new(
+                "framework::pivot_partition",
+                format!("object {orphan} stored at no node"),
+            ));
+        }
+
+        // Materialized lists: in-range, duplicate-free ids whose
+        // documents actually contain the listed keyword.
+        for (i, node) in self.nodes.iter().enumerate() {
+            for (&w, list) in &node.materialized {
+                let mut sorted = list.clone();
+                sorted.sort_unstable();
+                if sorted.windows(2).any(|p| p[0] == p[1]) {
+                    return Err(V::new(
+                        "framework::materialized",
+                        format!("node {i}: duplicate id in the list of keyword {w}"),
+                    ));
+                }
+                for &e in list {
+                    if e as usize >= n {
+                        return Err(V::new(
+                            "framework::materialized",
+                            format!("node {i}: id {e} out of range in the list of keyword {w}"),
+                        ));
+                    }
+                    if !self.docs[e as usize].contains_all(&[w]) {
+                        return Err(V::new(
+                            "framework::materialized",
+                            format!(
+                                "node {i}: object {e} listed for keyword {w} its document lacks"
+                            ),
+                        ));
+                    }
+                }
             }
         }
         Ok(())
@@ -729,5 +861,86 @@ mod tests {
         assert!(words > 512);
         assert!(words < 200 * 1024, "space {words}");
         tree.check_invariants().unwrap();
+    }
+
+    /// Deliberate corruption must be rejected with the *name* of the
+    /// broken invariant (acceptance criterion of DESIGN.md §12).
+    #[cfg(feature = "debug-invariants")]
+    mod corruption {
+        use super::*;
+        use skq_geom::Rect;
+
+        fn tree() -> TransformedIndex<KdPartitioner> {
+            let docs: Vec<Vec<Keyword>> = (0..96).map(|i| vec![i % 4, 4 + (i % 3)]).collect();
+            let t = build_1d(docs, 2, 4);
+            t.validate().unwrap();
+            t
+        }
+
+        #[test]
+        fn duplicated_pivot_names_pivot_partition() {
+            let mut t = tree();
+            let donor = t.nodes.iter().position(|n| !n.pivots.is_empty()).unwrap();
+            let dup = t.nodes[donor].pivots[0];
+            t.nodes.last_mut().unwrap().pivots.push(dup);
+            let v = t.validate().unwrap_err();
+            assert_eq!(v.invariant(), "framework::pivot_partition");
+            assert!(v.to_string().contains(&format!("object {dup}")), "{v}");
+        }
+
+        #[test]
+        fn skipped_level_names_tree_shape() {
+            let mut t = tree();
+            let parent = t.nodes.iter().position(|n| !n.children.is_empty()).unwrap();
+            let child = t.nodes[parent].children[0] as usize;
+            t.nodes[child].level += 1;
+            assert_eq!(
+                t.validate().unwrap_err().invariant(),
+                "framework::tree_shape"
+            );
+        }
+
+        #[test]
+        fn escaped_cell_names_cell_nesting() {
+            let mut t = tree();
+            // A level-1 node's cell is bounded on one side, so blowing
+            // its child's cell up to the full space breaks nesting.
+            let parent = t
+                .nodes
+                .iter()
+                .position(|n| n.level == 1 && !n.children.is_empty())
+                .unwrap();
+            let child = t.nodes[parent].children[0] as usize;
+            t.nodes[child].cell = Rect::full(1);
+            assert_eq!(
+                t.validate().unwrap_err().invariant(),
+                "framework::cell_nesting"
+            );
+        }
+
+        #[test]
+        fn foreign_id_in_list_names_materialized() {
+            let mut t = tree();
+            let (node, w) = t
+                .nodes
+                .iter()
+                .enumerate()
+                .find_map(|(i, n)| n.materialized.keys().next().map(|&w| (i, w)))
+                .expect("this workload materializes at least one list");
+            // Object 0's document is {0, 4}: listing it under any other
+            // keyword contradicts the list's definition.
+            let foreign = (0..96u32)
+                .find(|&e| !t.docs[e as usize].contains_all(&[w]))
+                .unwrap();
+            t.nodes[node]
+                .materialized
+                .get_mut(&w)
+                .unwrap()
+                .push(foreign);
+            assert_eq!(
+                t.validate().unwrap_err().invariant(),
+                "framework::materialized"
+            );
+        }
     }
 }

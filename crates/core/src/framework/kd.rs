@@ -77,6 +77,14 @@ impl Partitioner for KdPartitioner {
     fn weight(&self, obj: u32) -> u64 {
         self.weights[obj as usize]
     }
+
+    fn cell_nested(parent: &Rect, child: &Rect) -> Option<bool> {
+        Some(
+            parent.dim() == child.dim()
+                && (0..parent.dim())
+                    .all(|i| parent.lo(i) <= child.lo(i) && child.hi(i) <= parent.hi(i)),
+        )
+    }
 }
 
 impl KdPartitioner {

@@ -60,6 +60,16 @@ pub trait Partitioner {
     /// verbose set).
     fn weight(&self, obj: u32) -> u64;
 
+    /// Whether `child`'s cell is contained in `parent`'s — the §3.1
+    /// nesting requirement, consulted by the `debug-invariants` deep
+    /// validator. `None` (the default) means the cell type cannot
+    /// answer cheaply and the nesting check is skipped for this
+    /// partitioner.
+    fn cell_nested(parent: &Self::Cell, child: &Self::Cell) -> Option<bool> {
+        let _ = (parent, child);
+        None
+    }
+
     /// Total weight of a set of objects.
     fn total_weight(&self, objects: &[u32]) -> u64 {
         objects.iter().map(|&o| self.weight(o)).sum()

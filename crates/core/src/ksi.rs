@@ -187,6 +187,17 @@ impl KsiIndex {
     pub fn check_invariants(&self) -> Result<(), String> {
         self.tree.check_invariants()
     }
+
+    /// Deep structural validation (`debug-invariants`; DESIGN.md §12):
+    /// delegates to the underlying framework tree.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, by name.
+    #[cfg(feature = "debug-invariants")]
+    pub fn validate(&self) -> Result<(), crate::invariants::InvariantViolation> {
+        self.tree.validate()
+    }
 }
 
 #[cfg(test)]

@@ -172,6 +172,17 @@ impl LcKwIndex {
     pub fn space_words(&self) -> usize {
         self.sp.space_words()
     }
+
+    /// Deep structural validation (`debug-invariants`; DESIGN.md §12):
+    /// delegates to the inner SP-KW index.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, by name.
+    #[cfg(feature = "debug-invariants")]
+    pub fn validate(&self) -> Result<(), crate::invariants::InvariantViolation> {
+        self.sp.validate()
+    }
 }
 
 #[cfg(test)]

@@ -72,32 +72,36 @@
 
 // The orchestration layers sit on every request path of the ROADMAP's
 // service story, so they must not abort on recoverable conditions:
-// clippy.toml bans `unwrap()`/`expect()` in them (tests re-allow).
-#[warn(clippy::disallowed_methods)]
+// clippy.toml bans `unwrap()`/`expect()` and the panic-family macros in
+// them (tests re-allow; documented panicking wrappers carry justified
+// allows audited by skq-lint).
+#[warn(clippy::disallowed_methods, clippy::disallowed_macros)]
 pub mod batch;
 pub mod dataset;
 pub mod dimred;
-#[warn(clippy::disallowed_methods)]
+#[warn(clippy::disallowed_methods, clippy::disallowed_macros)]
 pub mod dynamic;
 pub mod error;
 pub mod failpoints;
 pub mod fastmap;
 pub mod framework;
 pub mod guard;
+#[cfg(feature = "debug-invariants")]
+pub mod invariants;
 pub mod ksi;
 pub mod lc;
 pub mod naive;
 pub mod nn_l2;
 pub mod nn_linf;
 pub mod orp;
-#[warn(clippy::disallowed_methods)]
+#[warn(clippy::disallowed_methods, clippy::disallowed_macros)]
 pub mod planner;
 pub mod rr;
 pub mod sink;
 pub mod sp;
 pub mod srp;
 pub mod stats;
-#[warn(clippy::disallowed_methods)]
+#[warn(clippy::disallowed_methods, clippy::disallowed_macros)]
 pub mod suite;
 pub mod telemetry;
 

@@ -243,6 +243,47 @@ impl L2NnIndex {
     pub fn space_words(&self) -> usize {
         self.srp.space_words() + self.dim * self.points.len()
     }
+
+    /// Deep structural validation (`debug-invariants`; DESIGN.md §12):
+    /// the per-dimension extremes (the initial radius bound) must be the
+    /// exact min/max of the stored coordinates, and the inner SRP-KW
+    /// index must itself validate.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, by name.
+    #[cfg(feature = "debug-invariants")]
+    pub fn validate(&self) -> Result<(), crate::invariants::InvariantViolation> {
+        use crate::invariants::InvariantViolation as V;
+        if self.extremes.len() != self.dim {
+            return Err(V::new(
+                "nn_l2::extremes",
+                format!(
+                    "{} extreme pairs for a {}D index",
+                    self.extremes.len(),
+                    self.dim
+                ),
+            ));
+        }
+        for (d, &(lo, hi)) in self.extremes.iter().enumerate() {
+            let (want_lo, want_hi) = self
+                .points
+                .iter()
+                .map(|p| p.get(d))
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), c| {
+                    (l.min(c), h.max(c))
+                });
+            if lo != want_lo || hi != want_hi {
+                return Err(V::new(
+                    "nn_l2::extremes",
+                    format!(
+                        "dimension {d}: stored extremes ({lo}, {hi}) ≠ actual ({want_lo}, {want_hi})"
+                    ),
+                ));
+            }
+        }
+        self.srp.validate()
+    }
 }
 
 #[cfg(test)]

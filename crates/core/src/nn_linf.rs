@@ -347,6 +347,64 @@ impl LinfNnIndex {
     pub fn space_words(&self) -> usize {
         self.engine.space_words() + self.dim * self.points.len()
     }
+
+    /// Deep structural validation (`debug-invariants`; DESIGN.md §12):
+    /// the candidate-radius columns must be sorted permutations of the
+    /// stored coordinates (the binary-search step of Corollary 4 silently
+    /// returns wrong neighbors otherwise), and the rectangle engine must
+    /// itself validate.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, by name.
+    #[cfg(feature = "debug-invariants")]
+    pub fn validate(&self) -> Result<(), crate::invariants::InvariantViolation> {
+        use crate::invariants::InvariantViolation as V;
+        if self.sorted_coords.len() != self.dim {
+            return Err(V::new(
+                "nn_linf::sorted_coords",
+                format!(
+                    "{} coordinate columns for a {}D index",
+                    self.sorted_coords.len(),
+                    self.dim
+                ),
+            ));
+        }
+        for (d, col) in self.sorted_coords.iter().enumerate() {
+            if col.len() != self.points.len() {
+                return Err(V::new(
+                    "nn_linf::sorted_coords",
+                    format!(
+                        "dimension {d}: column of {} entries for {} points",
+                        col.len(),
+                        self.points.len()
+                    ),
+                ));
+            }
+            if col.windows(2).any(|w| w[0].total_cmp(&w[1]).is_gt()) {
+                return Err(V::new(
+                    "nn_linf::sorted_coords",
+                    format!("dimension {d}: candidate-radius column not sorted"),
+                ));
+            }
+            let mut expected: Vec<f64> = self.points.iter().map(|p| p.get(d)).collect();
+            expected.sort_by(f64::total_cmp);
+            if col
+                .iter()
+                .zip(&expected)
+                .any(|(a, b)| a.total_cmp(b).is_ne())
+            {
+                return Err(V::new(
+                    "nn_linf::sorted_coords",
+                    format!("dimension {d}: column is not a permutation of the stored coordinates"),
+                ));
+            }
+        }
+        match &self.engine {
+            RectEngine::Orp(i) => i.validate(),
+            RectEngine::Lc(i) => i.validate(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -506,6 +564,19 @@ mod tests {
         let index = LinfNnIndex::build(&dataset, 2);
         assert_eq!(index.query(&Point::new2(0.0, 0.0), 1, &[0, 1]), vec![0]);
         assert_eq!(index.query(&Point::new2(0.0, 0.0), 2, &[0, 1]), vec![0, 1]);
+    }
+
+    #[test]
+    #[cfg(feature = "debug-invariants")]
+    fn scrambled_radius_column_names_sorted_coords() {
+        let dataset = random_dataset(80, 2, 4, 71);
+        let mut index = LinfNnIndex::build(&dataset, 2);
+        index.validate().unwrap();
+        // Corrupt the rank structure: swap the extremes of one column.
+        let last = index.sorted_coords[1].len() - 1;
+        index.sorted_coords[1].swap(0, last);
+        let err = index.validate().unwrap_err();
+        assert_eq!(err.invariant(), "nn_linf::sorted_coords");
     }
 
     #[test]

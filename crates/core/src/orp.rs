@@ -64,6 +64,12 @@ impl OrpKwIndex {
     /// is discarded and `SkqError::BuildBudgetExceeded` is returned.
     /// The planner's degradation ladder uses this to fall back to the
     /// linear-space engines (footnote 3) and finally the naive scan.
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidQuery` if `k` is outside `2..=16`;
+    /// `SkqError::BuildBudgetExceeded` if the finished index would
+    /// exceed `max_space_words`.
     pub fn try_build_with_budget(
         dataset: &Dataset,
         k: usize,
@@ -161,9 +167,12 @@ impl OrpKwIndex {
     /// Fallible query: validates the rectangle and keywords, then
     /// appends every match to `out` and returns the execution
     /// statistics. Equivalent to [`query`](Self::query) on valid
-    /// input; returns `SkqError::InvalidQuery` instead of panicking on
-    /// a dimension mismatch, NaN bounds, or a wrong number of distinct
-    /// keywords.
+    /// input.
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidQuery` instead of panicking on a dimension
+    /// mismatch, NaN bounds, or a wrong number of distinct keywords.
     pub fn try_query_into(
         &self,
         q: &Rect,
@@ -246,6 +255,17 @@ impl OrpKwIndex {
         match &self.inner {
             Inner::Kd { tree, .. } => tree.check_invariants(),
             Inner::DimRed(_) => Ok(()),
+        }
+    }
+
+    /// Deep structural validation (`debug-invariants`; DESIGN.md §12):
+    /// delegates to the kd framework or the dimension-reduction tree,
+    /// each of which re-derives its invariants from the built structure.
+    #[cfg(feature = "debug-invariants")]
+    pub fn validate(&self) -> Result<(), crate::invariants::InvariantViolation> {
+        match &self.inner {
+            Inner::Kd { tree, .. } => tree.validate(),
+            Inner::DimRed(tree) => tree.validate(),
         }
     }
 }

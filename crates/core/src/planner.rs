@@ -26,7 +26,7 @@ use skq_geom::{ConvexPolytope, Rect};
 use skq_invidx::{InvertedIndex, Keyword};
 
 use crate::dataset::Dataset;
-use crate::error::SkqError;
+use crate::error::{validate, SkqError};
 use crate::guard::{GuardedSink, QueryGuard};
 use crate::lc::LcKwIndex;
 use crate::naive::{KeywordsFirst, StructuredFirst};
@@ -153,8 +153,11 @@ impl PlannedOrpKw {
     ///
     /// On an invalid dataset or `k`; see
     /// [`try_build`](Self::try_build) for the fallible surface.
+    // The panic is this wrapper's documented contract; `try_build` is
+    // the fallible surface.
+    #[allow(clippy::disallowed_macros)]
     pub fn build(dataset: &Dataset, k: usize) -> Self {
-        Self::try_build(dataset, k).unwrap_or_else(|e| panic!("{e}"))
+        Self::try_build(dataset, k).unwrap_or_else(|e| panic!("{e}")) // skq-lint: allow(L01) documented panicking wrapper over try_build
     }
 
     /// Fallible build with no space budget (always admits the full
@@ -311,6 +314,28 @@ impl PlannedOrpKw {
         let plan = self.query_sink(q, keywords, &mut out, &mut stats);
         out.sort_unstable();
         (out, plan)
+    }
+
+    /// Fallible planned query: validates the rectangle and keyword
+    /// contract up front, then executes [`query`](Self::query),
+    /// appending the sorted matches to `out` and returning the plan
+    /// used.
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidQuery` on a dimension mismatch, NaN bounds, or
+    /// a wrong number of distinct keywords.
+    pub fn try_query_into(
+        &self,
+        q: &Rect,
+        keywords: &[Keyword],
+        out: &mut Vec<u32>,
+    ) -> Result<Plan, SkqError> {
+        validate::rect_query(q, self.dataset.dim())?;
+        validate::distinct_keywords(keywords, self.k)?;
+        let (ids, plan) = self.query(q, keywords);
+        out.extend(ids);
+        Ok(plan)
     }
 
     /// Streaming planned query: picks the estimated-cheapest plan and

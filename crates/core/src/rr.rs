@@ -160,6 +160,29 @@ impl RrKwIndex {
     pub fn space_words(&self) -> usize {
         self.orp.space_words()
     }
+
+    /// Deep structural validation (`debug-invariants`; DESIGN.md §12):
+    /// the Corollary 3 flattening must have doubled the dimension, and
+    /// the inner ORP-KW index must itself validate.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, by name.
+    #[cfg(feature = "debug-invariants")]
+    pub fn validate(&self) -> Result<(), crate::invariants::InvariantViolation> {
+        if self.orp.dim() != 2 * self.dim {
+            return Err(crate::invariants::InvariantViolation::new(
+                "rr::lifting",
+                format!(
+                    "inner index is {}D, expected {} for {}D rectangles",
+                    self.orp.dim(),
+                    2 * self.dim,
+                    self.dim
+                ),
+            ));
+        }
+        self.orp.validate()
+    }
 }
 
 /// The linear-space RR-KW variant of the paper's footnote 3: route the
@@ -226,6 +249,17 @@ impl RrKwLinear {
     /// Index space in 64-bit words (linear in `N`).
     pub fn space_words(&self) -> usize {
         self.lc.space_words()
+    }
+
+    /// Deep structural validation (`debug-invariants`; DESIGN.md §12):
+    /// delegates to the inner LC-KW index.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, by name.
+    #[cfg(feature = "debug-invariants")]
+    pub fn validate(&self) -> Result<(), crate::invariants::InvariantViolation> {
+        self.lc.validate()
     }
 }
 

@@ -355,6 +355,39 @@ impl SpKwIndex {
             Inner::Quad(t) => t.check_invariants_with(false),
         }
     }
+
+    /// The stored point set, exposed so lifting-based wrappers (SRP-KW)
+    /// can cross-check their lifted coordinates during deep validation.
+    #[cfg(feature = "debug-invariants")]
+    pub(crate) fn validate_points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Deep structural validation (`debug-invariants`; DESIGN.md §12).
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, by name.
+    #[cfg(feature = "debug-invariants")]
+    pub fn validate(&self) -> Result<(), crate::invariants::InvariantViolation> {
+        use crate::invariants::InvariantViolation as V;
+        if let Some(p) = self.points.iter().find(|p| p.dim() != self.dim) {
+            return Err(V::new(
+                "sp::points",
+                format!(
+                    "stored point of dimension {}, index is {}D",
+                    p.dim(),
+                    self.dim
+                ),
+            ));
+        }
+        match &self.inner {
+            Inner::Willard(t) => t.validate(),
+            Inner::Kd(t) => t.validate(),
+            // Midpoint splits carry no weight-halving guarantee.
+            Inner::Quad(t) => t.validate_with(false),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -220,6 +220,41 @@ impl SrpKwIndex {
     pub fn space_words(&self) -> usize {
         self.sp.space_words()
     }
+
+    /// Deep structural validation (`debug-invariants`; DESIGN.md §12):
+    /// re-derives the Lemma 10 lifting — every stored point's last
+    /// coordinate must equal the squared norm of its first `d` — then
+    /// recurses into the inner SP-KW index.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, by name.
+    #[cfg(feature = "debug-invariants")]
+    pub fn validate(&self) -> Result<(), crate::invariants::InvariantViolation> {
+        use crate::invariants::InvariantViolation as V;
+        if self.sp.dim() != self.dim + 1 {
+            return Err(V::new(
+                "srp::lifting",
+                format!(
+                    "inner index is {}D, expected {} for {}D data",
+                    self.sp.dim(),
+                    self.dim + 1,
+                    self.dim
+                ),
+            ));
+        }
+        for (i, p) in self.sp.validate_points().iter().enumerate() {
+            let norm: f64 = (0..self.dim).map(|j| p.get(j) * p.get(j)).sum();
+            let stored = p.get(self.dim);
+            if (stored - norm).abs() > 1e-9 * norm.max(1.0) {
+                return Err(V::new(
+                    "srp::lifting",
+                    format!("point {i}: lifted coordinate {stored} ≠ |p|² = {norm}"),
+                ));
+            }
+        }
+        self.sp.validate()
+    }
 }
 
 /// The lifted halfspace for squared radius `r²`:

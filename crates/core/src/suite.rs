@@ -16,7 +16,7 @@ use skq_geom::Rect;
 use skq_invidx::{InvertedIndex, Keyword};
 
 use crate::dataset::Dataset;
-use crate::error::SkqError;
+use crate::error::{validate, SkqError};
 use crate::guard::{GuardedSink, QueryGuard};
 use crate::orp::OrpKwIndex;
 use crate::sink::{FilterSink, ResultSink};
@@ -58,8 +58,11 @@ impl OrpKwSuite {
     ///
     /// Panics if `k_max < 2` or the dataset is invalid; see
     /// [`try_build`](Self::try_build) for the fallible surface.
+    // The panic is this wrapper's documented contract; `try_build` is
+    // the fallible surface.
+    #[allow(clippy::disallowed_macros)]
     pub fn build(dataset: &Dataset, k_max: usize) -> Self {
-        Self::try_build(dataset, k_max).unwrap_or_else(|e| panic!("{e}"))
+        Self::try_build(dataset, k_max).unwrap_or_else(|e| panic!("{e}")) // skq-lint: allow(L01) documented panicking wrapper over try_build
     }
 
     /// Fallible build.
@@ -117,6 +120,25 @@ impl OrpKwSuite {
             None,
         );
         result
+    }
+
+    /// Fallible query: validates the rectangle, then routes like
+    /// [`query`](Self::query) — any number of distinct keywords is
+    /// acceptable, that is the suite's job — appending the matches to
+    /// `out`.
+    ///
+    /// # Errors
+    ///
+    /// `SkqError::InvalidQuery` on a dimension mismatch or NaN bounds.
+    pub fn try_query_into(
+        &self,
+        q: &Rect,
+        keywords: &[Keyword],
+        out: &mut Vec<u32>,
+    ) -> Result<(), SkqError> {
+        validate::rect_query(q, self.dataset.dim())?;
+        out.extend(self.query(q, keywords));
+        Ok(())
     }
 
     /// Streaming variant of [`query`](Self::query): matching ids are
@@ -239,6 +261,23 @@ impl OrpKwSuite {
             .map(OrpKwIndex::space_words)
             .sum::<usize>()
             + self.inv.input_size() * 2
+    }
+
+    /// Deep structural validation (`debug-invariants`; DESIGN.md §12):
+    /// every per-`k` member index and the inverted fallback must
+    /// validate.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, by name.
+    #[cfg(feature = "debug-invariants")]
+    pub fn validate(&self) -> Result<(), crate::invariants::InvariantViolation> {
+        for index in &self.indexes {
+            index.validate()?;
+        }
+        self.inv.validate().map_err(|detail| {
+            crate::invariants::InvariantViolation::new("invidx::postings", detail)
+        })
     }
 }
 

@@ -88,6 +88,48 @@ impl InvertedIndex {
         result
     }
 
+    /// Deep structural validation: every postings list must be non-empty
+    /// (empty lists are never materialized), strictly ascending (the
+    /// galloping intersection assumes it), in range, and the list
+    /// lengths must sum to the recorded input size `N` (documents are
+    /// deduplicated on construction, so each keyword contributes one
+    /// posting). Unconditionally available — this crate is a leaf with
+    /// no feature graph; `skq-core` re-exports it behind
+    /// `debug-invariants`.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut total = 0usize;
+        for (&w, list) in &self.postings {
+            if list.is_empty() {
+                return Err(format!("keyword {w}: empty postings list materialized"));
+            }
+            if let Some(pair) = list.windows(2).find(|pair| pair[0] >= pair[1]) {
+                return Err(format!(
+                    "keyword {w}: postings not strictly ascending at {} >= {}",
+                    pair[0], pair[1]
+                ));
+            }
+            let last = *list.last().expect("non-empty");
+            if last as usize >= self.num_objects {
+                return Err(format!(
+                    "keyword {w}: posting {last} out of range for {} objects",
+                    self.num_objects
+                ));
+            }
+            total += list.len();
+        }
+        if total != self.input_size {
+            return Err(format!(
+                "postings sum to {total}, recorded input size is {}",
+                self.input_size
+            ));
+        }
+        Ok(())
+    }
+
     /// Whether the intersection is empty, with early exit.
     pub fn intersection_is_empty(&self, keywords: &[Keyword]) -> bool {
         if keywords.is_empty() {
@@ -157,6 +199,16 @@ mod tests {
         assert_eq!(idx.num_keywords(), 4);
         assert_eq!(idx.postings(1), &[0, 1]);
         assert_eq!(idx.postings(9), &[] as &[ObjectId]);
+    }
+
+    #[test]
+    fn validate_accepts_built_and_rejects_corrupt() {
+        let mut idx = InvertedIndex::build(&docs(&[&[0, 1], &[1, 2, 3], &[0]]));
+        idx.validate().unwrap();
+        // Break the ascending-order invariant on one list.
+        idx.postings.get_mut(&1).unwrap().reverse();
+        let err = idx.validate().unwrap_err();
+        assert!(err.contains("not strictly ascending"), "{err}");
     }
 
     #[test]

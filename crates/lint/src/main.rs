@@ -1,0 +1,112 @@
+//! `cargo run -p skq-lint` — scan the workspace and report findings.
+//!
+//! Exit status 0 when every finding is suppressed inline or accepted by
+//! the baseline; 1 otherwise; 2 on usage or I/O errors.
+//!
+//! ```text
+//! cargo run -p skq-lint                  # human-readable report
+//! cargo run -p skq-lint -- --json        # machine-readable findings
+//! cargo run -p skq-lint -- --github      # GitHub Actions annotations
+//! cargo run -p skq-lint -- --list        # rule registry
+//! cargo run -p skq-lint -- --root <dir> --baseline <file>
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use skq_lint::{apply_suppressions, render_github, render_json, run_rules, Baseline, Workspace};
+
+struct Options {
+    root: PathBuf,
+    baseline: PathBuf,
+    json: bool,
+    github: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        baseline: PathBuf::new(),
+        json: false,
+        github: false,
+        list: false,
+    };
+    let mut baseline_set = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--github" => opts.github = true,
+            "--list" => opts.list = true,
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--baseline" => {
+                opts.baseline = PathBuf::from(args.next().ok_or("--baseline needs a file")?);
+                baseline_set = true;
+            }
+            other => return Err(format!("unknown argument `{other}` (see --list)")),
+        }
+    }
+    if !baseline_set {
+        opts.baseline = opts.root.join("lint-baseline.txt");
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("skq-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list {
+        for (id, summary, _) in skq_lint::rules::RULES {
+            println!("{id}  {summary}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let ws = match Workspace::load(&opts.root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!(
+                "skq-lint: cannot load workspace {}: {e}",
+                opts.root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match std::fs::read_to_string(&opts.baseline) {
+        Ok(text) => Baseline::parse(&text),
+        Err(_) => Baseline::default(), // no baseline file = empty baseline
+    };
+
+    let raw = run_rules(&ws);
+    let (active, suppressed) = apply_suppressions(&ws, raw);
+    let (active, baselined) = baseline.apply(active);
+
+    if opts.json {
+        print!("{}", render_json(&active));
+    } else if opts.github {
+        print!("{}", render_github(&active));
+    } else {
+        for f in &active {
+            println!("{f}");
+        }
+        println!(
+            "skq-lint: {} finding(s), {} suppressed inline, {} baselined, {} file(s) scanned",
+            active.len(),
+            suppressed.len(),
+            baselined.len(),
+            ws.files.len()
+        );
+    }
+    if active.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,367 @@
+//! Source modelling: comment/string masking and `#[cfg(test)]` region
+//! tracking.
+//!
+//! The rule engine never parses Rust properly — it works on a *masked*
+//! view of each file in which comment bodies and string/char literal
+//! contents are replaced by spaces (newlines preserved), so token
+//! searches cannot match inside prose or literals, plus a per-line
+//! `is_test` bitmap so rules can skip `#[cfg(test)]` modules and
+//! functions. This is deliberately lighter than a real parser: every
+//! rule here is a *policy* check over a handful of easily recognized
+//! tokens, and the masking layer is the only part that needs to
+//! understand Rust's lexical grammar.
+
+/// One scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (stable across OSes
+    /// for baselines and fixtures).
+    pub path: String,
+    /// The raw text, used for extracting literal contents (metric
+    /// names, fail-point sites) and suppression comments.
+    pub raw: String,
+    /// Same length as `raw`: comments and literal contents blanked.
+    pub masked: String,
+    /// Byte offset of the start of each line (index 0 = line 1).
+    pub line_starts: Vec<usize>,
+    /// `test_lines[i]` — line `i + 1` lies inside a `#[cfg(test)]`
+    /// item or the whole file is a test target.
+    pub test_lines: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Scans `raw` into a masked model. `force_test` marks every line
+    /// as test code (integration tests, benches, fixtures).
+    pub fn new(path: String, raw: String, force_test: bool) -> Self {
+        let masked = mask(&raw);
+        let line_starts = line_starts(&raw);
+        let test_lines = if force_test {
+            vec![true; line_starts.len()]
+        } else {
+            test_regions(&masked, &line_starts)
+        };
+        Self {
+            path,
+            raw,
+            masked,
+            line_starts,
+            test_lines,
+        }
+    }
+
+    /// 1-based `(line, col)` of a byte offset.
+    pub fn position(&self, offset: usize) -> (usize, usize) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// Whether the line holding `offset` is test code.
+    pub fn is_test_at(&self, offset: usize) -> bool {
+        let (line, _) = self.position(offset);
+        self.test_lines.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// The raw text of 1-based `line` (without the newline).
+    pub fn line_text(&self, line: usize) -> &str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map(|&e| e - 1)
+            .unwrap_or(self.raw.len());
+        self.raw[start..end]
+            .trim_end_matches('\n')
+            .trim_end_matches('\r')
+    }
+
+    /// Every start offset of `token` in the masked text.
+    pub fn masked_offsets(&self, token: &str) -> Vec<usize> {
+        offsets_of(&self.masked, token)
+    }
+}
+
+/// Every start offset of `token` in `text`.
+pub fn offsets_of(text: &str, token: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(i) = text[from..].find(token) {
+        out.push(from + i);
+        from += i + token.len().max(1);
+    }
+    out
+}
+
+fn line_starts(raw: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in raw.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    if starts.last() == Some(&raw.len()) && raw.ends_with('\n') {
+        starts.pop();
+    }
+    starts
+}
+
+/// Replaces comment bodies and string/char literal contents with
+/// spaces, preserving length and newlines. Handles line and (nested)
+/// block comments, plain/byte strings with escapes, raw strings with
+/// `#` fences, char literals, and leaves lifetimes (`'a`) alone.
+fn mask(raw: &str) -> String {
+    let bytes = raw.as_bytes();
+    let mut out: Vec<u8> = bytes.to_vec();
+    let mut i = 0usize;
+    let n = bytes.len();
+
+    let blank = |out: &mut Vec<u8>, from: usize, to: usize| {
+        for item in out.iter_mut().take(to).skip(from) {
+            if *item != b'\n' {
+                *item = b' ';
+            }
+        }
+    };
+
+    while i < n {
+        let b = bytes[i];
+        match b {
+            b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                let end = raw[i..].find('\n').map(|e| i + e).unwrap_or(n);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if j + 1 < n && bytes[j] == b'/' && bytes[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if j + 1 < n && bytes[j] == b'*' && bytes[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, i, j);
+                i = j;
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                let (hash_count, quote) = raw_string_open(bytes, i);
+                let body = quote + 1;
+                let closer: String = std::iter::once('"')
+                    .chain("#".repeat(hash_count).chars())
+                    .collect();
+                let end = raw[body..]
+                    .find(&closer)
+                    .map(|e| body + e)
+                    .unwrap_or(n.saturating_sub(closer.len()));
+                blank(&mut out, body, end);
+                i = end + closer.len();
+            }
+            b'"' => {
+                let mut j = i + 1;
+                while j < n {
+                    match bytes[j] {
+                        b'\\' => j += 2,
+                        b'"' => break,
+                        _ => j += 1,
+                    }
+                }
+                blank(&mut out, i + 1, j.min(n));
+                i = (j + 1).min(n);
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(bytes, i) {
+                    blank(&mut out, i + 1, end);
+                    i = end + 1;
+                } else {
+                    i += 1; // a lifetime: leave it
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    // SAFETY-free conversion: we only wrote ASCII spaces over bytes.
+    String::from_utf8(out).unwrap_or_else(|_| raw.to_string())
+}
+
+/// `r"…"`, `r#"…"#`, `br"…"`, `b"…"` starts (byte strings share the
+/// plain-string escape path via the `b'"'` arm unless raw).
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // Not part of an identifier like `for` or `br`oken names.
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+/// Returns `(hash_count, quote_offset)` for a raw-string opener at `i`.
+fn raw_string_open(bytes: &[u8], i: usize) -> (usize, usize) {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0usize;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    (hashes, j)
+}
+
+/// If a char literal starts at `i` (a `'`), returns the offset of the
+/// closing quote; `None` for lifetimes.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let n = bytes.len();
+    if i + 2 >= n {
+        return None;
+    }
+    if bytes[i + 1] == b'\\' {
+        // Escaped char: scan to the closing quote (bounded).
+        let mut j = i + 2;
+        while j < n && j < i + 12 {
+            if bytes[j] == b'\'' {
+                return Some(j);
+            }
+            j += 1;
+        }
+        return None;
+    }
+    // `'x'` for any single byte x (multibyte chars: find the quote
+    // within a small window).
+    let mut j = i + 1;
+    while j < n && j <= i + 5 {
+        if bytes[j] == b'\'' && j > i + 1 {
+            return Some(j);
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Marks lines inside `#[cfg(test)]`-gated items by walking the masked
+/// text with a brace counter.
+fn test_regions(masked: &str, line_starts: &[usize]) -> Vec<bool> {
+    let mut flags = vec![false; line_starts.len()];
+    let bytes = masked.as_bytes();
+    let n = bytes.len();
+    let mut depth = 0i64;
+    // (armed_at_depth) set when a cfg(test) attribute is seen; the next
+    // `{` at that depth opens the region.
+    let mut pending: Option<i64> = None;
+    // (region_open_depth) while inside a test region.
+    let mut region: Option<i64> = None;
+    let mut i = 0usize;
+    let line_of = |offset: usize| -> usize {
+        match line_starts.binary_search(&offset) {
+            Ok(l) => l,
+            Err(l) => l - 1,
+        }
+    };
+    while i < n {
+        if region.is_none()
+            && pending.is_none()
+            && (masked[i..].starts_with("#[cfg(test)]")
+                || masked[i..].starts_with("#[cfg(all(test"))
+        {
+            pending = Some(depth);
+            flags[line_of(i)] = true;
+            i += 2;
+            continue;
+        }
+        match bytes[i] {
+            b'{' => {
+                if let Some(d) = pending {
+                    if d == depth {
+                        region = Some(depth);
+                        pending = None;
+                    }
+                }
+                depth += 1;
+            }
+            b'}' => {
+                depth -= 1;
+                if region == Some(depth) {
+                    region = None;
+                    flags[line_of(i)] = true;
+                }
+            }
+            _ => {}
+        }
+        if region.is_some() {
+            flags[line_of(i)] = true;
+        }
+        i += 1;
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_blanks_comments_and_strings() {
+        let src = "let a = \"panic!(x)\"; // unwrap()\nlet b = 1; /* expect( */ let c = 'x';\n";
+        let f = SourceFile::new("t.rs".into(), src.into(), false);
+        assert!(!f.masked.contains("panic!"));
+        assert!(!f.masked.contains("unwrap"));
+        assert!(!f.masked.contains("expect"));
+        assert_eq!(f.masked.len(), src.len());
+        assert!(f.masked.contains("let b = 1;"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'q'; let d = '\\n'; }";
+        let f = SourceFile::new("t.rs".into(), src.into(), false);
+        assert!(f.masked.contains("<'a>"));
+        assert!(f.masked.contains("&'a str"));
+        assert!(!f.masked.contains('q'));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let s = r#\"todo!() \"inner\" \"#; let t = 2;";
+        let f = SourceFile::new("t.rs".into(), src.into(), false);
+        assert!(!f.masked.contains("todo!"));
+        assert!(f.masked.contains("let t = 2;"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_flagged() {
+        let src = "pub fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\npub fn c() {}\n";
+        let f = SourceFile::new("t.rs".into(), src.into(), false);
+        assert!(!f.test_lines[0], "line 1 is production code");
+        assert!(f.test_lines[1], "attribute line");
+        assert!(f.test_lines[2] && f.test_lines[3] && f.test_lines[4]);
+        assert!(!f.test_lines[5], "after the test module");
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let src = "abc\ndef\n";
+        let f = SourceFile::new("t.rs".into(), src.into(), false);
+        assert_eq!(f.position(0), (1, 1));
+        assert_eq!(f.position(4), (2, 1));
+        assert_eq!(f.position(6), (2, 3));
+        assert_eq!(f.line_text(2), "def");
+    }
+}

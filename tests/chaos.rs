@@ -18,6 +18,21 @@ use structured_keyword_search::prelude::*;
 
 static CHAOS_LOCK: Mutex<()> = Mutex::new(());
 
+/// Runs the `debug-invariants` deep validator when both chaos and
+/// invariant features are enabled — an injected failure must never
+/// leave a structurally corrupt index behind. Compiles to nothing
+/// without `debug-invariants`.
+macro_rules! deep_validate {
+    ($index:expr) => {{
+        #[cfg(feature = "debug-invariants")]
+        $index
+            .validate()
+            .unwrap_or_else(|v| panic!("deep invariant violated: {v}"));
+        #[cfg(not(feature = "debug-invariants"))]
+        let _ = &$index;
+    }};
+}
+
 /// Serializes a chaos test and guarantees a clean registry on both
 /// entry and (via `Drop`) exit, even if the test panics.
 struct ChaosGuard<'a>(#[allow(dead_code)] std::sync::MutexGuard<'a, ()>);
@@ -145,7 +160,8 @@ fn injected_failure_does_not_poison_a_dynamic_index() {
         .unwrap_err();
     assert!(matches!(err, SkqError::Internal(_)), "{err}");
     // The failed insert rolled back: the index still answers exactly
-    // the pre-failure contents.
+    // the pre-failure contents, and its bookkeeping is intact.
+    deep_validate!(dynamic);
     let mut got = dynamic.query(&Rect::full(2), &[0, 1]);
     got.sort();
     assert_eq!(got, expected);
@@ -155,6 +171,7 @@ fn injected_failure_does_not_poison_a_dynamic_index() {
         .try_insert(Point::new2(0.0, 0.0), vec![0, 1])
         .unwrap();
     expected.push(h);
+    deep_validate!(dynamic);
     let mut got = dynamic.query(&Rect::full(2), &[0, 1]);
     got.sort();
     assert_eq!(got, expected);
@@ -192,8 +209,9 @@ fn batch_shards_retry_and_isolate_injected_panics() {
     assert!(report.outcomes.iter().all(|o| *o == ShardOutcome::Failed));
 
     // Disarmed, the same index and queries run clean — the injected
-    // panics poisoned nothing.
+    // panics poisoned nothing, structurally included.
     failpoints::clear();
+    deep_validate!(index);
     let report = run_batch_isolated(&index, &queries, 2, &QueryGuard::new());
     assert!(report.is_complete());
     for r in report.into_results().unwrap() {

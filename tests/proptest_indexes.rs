@@ -53,6 +53,20 @@ fn sorted(mut v: Vec<u32>) -> Vec<u32> {
     v
 }
 
+/// Runs the `debug-invariants` deep validator on a freshly built index;
+/// compiles to nothing under the default feature set, so the oracle
+/// comparisons below are unchanged in ordinary CI.
+macro_rules! deep_validate {
+    ($index:expr) => {{
+        #[cfg(feature = "debug-invariants")]
+        $index
+            .validate()
+            .unwrap_or_else(|v| panic!("deep invariant violated: {v}"));
+        #[cfg(not(feature = "debug-invariants"))]
+        let _ = &$index;
+    }};
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -64,6 +78,7 @@ proptest! {
     ) {
         let index = OrpKwIndex::build(&dataset, 2);
         index.check_invariants().unwrap();
+        deep_validate!(index);
         let oracle = FullScan::new(&dataset);
         prop_assert_eq!(sorted(index.query(&q, &kws)), oracle.query_rect(&q, &kws));
     }
@@ -75,6 +90,7 @@ proptest! {
         kws in two_keywords(),
     ) {
         let index = OrpKwIndex::build(&dataset, 2);
+        deep_validate!(index);
         let oracle = FullScan::new(&dataset);
         prop_assert_eq!(sorted(index.query(&q, &kws)), oracle.query_rect(&q, &kws));
     }
@@ -86,6 +102,7 @@ proptest! {
         kws in two_keywords(),
     ) {
         let index = OrpKwIndex::build(&dataset, 2);
+        deep_validate!(index);
         let oracle = FullScan::new(&dataset);
         prop_assert_eq!(sorted(index.query(&q, &kws)), oracle.query_rect(&q, &kws));
     }
@@ -103,6 +120,7 @@ proptest! {
         if c == a { c = (c + 1) % VOCAB; }
         let kws = vec![a, b, c];
         let index = OrpKwIndex::build(&dataset, 3);
+        deep_validate!(index);
         let oracle = FullScan::new(&dataset);
         prop_assert_eq!(sorted(index.query(&q, &kws)), oracle.query_rect(&q, &kws));
     }
@@ -121,6 +139,7 @@ proptest! {
         );
         let index = SpKwIndex::build_with_strategy(&dataset, 2, SpStrategy::Willard);
         index.check_invariants().unwrap();
+        deep_validate!(index);
         let oracle = FullScan::new(&dataset);
         prop_assert_eq!(sorted(index.query_polytope(&q, &kws)), oracle.query_polytope(&q, &kws));
     }
@@ -139,6 +158,7 @@ proptest! {
         );
         let index = SpKwIndex::build_with_strategy(&dataset, 2, SpStrategy::Quad);
         index.check_invariants().unwrap();
+        deep_validate!(index);
         let oracle = FullScan::new(&dataset);
         prop_assert_eq!(sorted(index.query_polytope(&q, &kws)), oracle.query_polytope(&q, &kws));
     }
@@ -158,6 +178,7 @@ proptest! {
                 .collect(),
         );
         let index = SpKwIndex::build_with_strategy(&dataset, 2, SpStrategy::Kd);
+        deep_validate!(index);
         let oracle = FullScan::new(&dataset);
         prop_assert_eq!(sorted(index.query_polytope(&q, &kws)), oracle.query_polytope(&q, &kws));
     }
@@ -170,6 +191,7 @@ proptest! {
     ) {
         let ball = Ball::new(Point::new2(f64::from(cx), f64::from(cy)), f64::from(r));
         let index = SrpKwIndex::build(&dataset, 2);
+        deep_validate!(index);
         let oracle = FullScan::new(&dataset);
         prop_assert_eq!(sorted(index.query(&ball, &kws)), oracle.query_ball(&ball, &kws));
     }
@@ -182,6 +204,7 @@ proptest! {
     ) {
         let q = Point::new2(f64::from(qx), f64::from(qy));
         let index = LinfNnIndex::build(&dataset, 2);
+        deep_validate!(index);
         let oracle = FullScan::new(&dataset);
         prop_assert_eq!(index.query(&q, t, &kws), oracle.nn_linf(&q, t, &kws));
     }
@@ -194,6 +217,7 @@ proptest! {
     ) {
         let q = Point::new2(f64::from(qx), f64::from(qy));
         let index = L2NnIndex::build(&dataset, 2);
+        deep_validate!(index);
         let oracle = FullScan::new(&dataset);
         prop_assert_eq!(index.query(&q, t, &kws), oracle.nn_l2(&q, t, &kws));
     }
@@ -206,6 +230,7 @@ proptest! {
         let docs: Vec<Document> = docs.into_iter().map(Document::new).collect();
         let ksi = KsiIndex::build(&docs, 2);
         ksi.check_invariants().unwrap();
+        deep_validate!(ksi);
         let inv = InvertedIndex::build(&docs);
         prop_assert_eq!(sorted(ksi.intersect(&kws)), inv.intersect(&kws));
         prop_assert_eq!(ksi.intersection_is_empty(&kws), inv.intersect(&kws).is_empty());
@@ -219,6 +244,7 @@ proptest! {
         limit in 0usize..10,
     ) {
         let index = OrpKwIndex::build(&dataset, 2);
+        deep_validate!(index);
         let oracle = FullScan::new(&dataset);
         let full = oracle.query_rect(&q, &kws);
         let mut out = Vec::new();

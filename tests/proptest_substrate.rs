@@ -13,6 +13,19 @@ fn sorted(mut v: Vec<u32>) -> Vec<u32> {
     v
 }
 
+/// Runs the `debug-invariants` deep validator; compiles to nothing
+/// under the default feature set.
+macro_rules! deep_validate {
+    ($index:expr) => {{
+        #[cfg(feature = "debug-invariants")]
+        $index
+            .validate()
+            .unwrap_or_else(|v| panic!("deep invariant violated: {v}"));
+        #[cfg(not(feature = "debug-invariants"))]
+        let _ = &$index;
+    }};
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -134,12 +147,18 @@ proptest! {
                 0 => {
                     let h = idx.insert(p, kws.clone());
                     mirror.push((Some(()), p, kws, h));
+                    // Every insert may trigger a carry/rebuild; the
+                    // logarithmic-method bookkeeping must survive all
+                    // of them.
+                    deep_validate!(idx);
                 }
                 1 => {
                     if !mirror.is_empty() {
                         let i = (x as usize * 7 + y as usize) % mirror.len();
                         let was_live = mirror[i].0.take().is_some();
                         prop_assert_eq!(idx.delete(mirror[i].3), was_live);
+                        // Deletions may trigger a compacting rebuild.
+                        deep_validate!(idx);
                     }
                 }
                 _ => {
@@ -210,6 +229,7 @@ proptest! {
                 .collect(),
         );
         let suite = OrpKwSuite::build(&dataset, 3);
+        deep_validate!(suite);
         let q = Rect::new(&[5.0, 5.0], &[20.0, 20.0]);
         let got = sorted(suite.query(&q, &kws));
         let mut dedup = kws.clone();

@@ -11,6 +11,11 @@
 //! counters are process-global, and a second concurrently running test
 //! would pollute the measurements.
 
+// The counting wrapper must implement the inherently-unsafe
+// `GlobalAlloc` trait; this is the one sanctioned exception to the
+// workspace-wide `unsafe_code = "deny"`.
+#![allow(unsafe_code)] // skq-lint: allow(L07) GlobalAlloc impls are unavoidably unsafe
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
