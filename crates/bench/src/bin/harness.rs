@@ -6,8 +6,15 @@
 //!
 //! Usage:
 //!   harness [all|e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|f1|f2|x1|x2|x3] [--quick]
+//!           [--metrics out.prom] [--trace out.json]
+//!
+//! `--trace` captures every instrumented build/query span that runs
+//! during the selected experiments as a chrome-trace JSON file
+//! (loadable in `ui.perfetto.dev`). Artifact-write failures exit with
+//! code 2 and a one-line message.
 
 use std::env;
+use std::process::ExitCode;
 use std::time::Duration;
 
 use skq_bench::{
@@ -53,19 +60,26 @@ impl Config {
     }
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let metrics_path = args
         .iter()
         .position(|a| a == "--metrics")
         .and_then(|i| args.get(i + 1));
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1));
     let which = args
         .iter()
-        .find(|a| !a.starts_with("--") && Some(*a) != metrics_path)
+        .find(|a| !a.starts_with("--") && Some(*a) != metrics_path && Some(*a) != trace_path)
         .map(String::as_str)
         .unwrap_or("all");
     let cfg = Config { quick };
+    if trace_path.is_some() {
+        skq_obs::trace::enable();
+    }
 
     let all: Vec<Experiment> = vec![
         ("e1", e1),
@@ -109,11 +123,37 @@ fn main() {
     // additionally writes the machine-readable Prometheus form.
     println!("\n\n================ METRICS SNAPSHOT ================");
     print!("{}", skq_obs::global().report());
+    if let Some(path) = trace_path {
+        skq_obs::trace::disable();
+        if let Err(msg) = write_artifact(path, &skq_obs::trace::export_chrome()) {
+            eprintln!("harness: {msg}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "(wrote {} trace events to {path} — load in ui.perfetto.dev)",
+            skq_obs::trace::event_count()
+        );
+    }
     if let Some(path) = metrics_path {
-        std::fs::write(path, skq_obs::global().render_prometheus())
-            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        if let Err(msg) = write_artifact(path, &skq_obs::global().render_prometheus()) {
+            eprintln!("harness: {msg}");
+            return ExitCode::from(2);
+        }
         println!("(wrote Prometheus snapshot to {path})");
     }
+    ExitCode::SUCCESS
+}
+
+/// Writes an output artifact, creating missing parent directories.
+fn write_artifact(path: &str, contents: &str) -> Result<(), String> {
+    let p = std::path::Path::new(path);
+    if let Some(parent) = p.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(p, contents).map_err(|e| format!("writing {path}: {e}"))
 }
 
 /// Median query time over `queries` random full-space ORP queries.
@@ -121,6 +161,7 @@ fn orp_query_time(index: &OrpKwIndex, q: &Rect, kws: &[Keyword], reps: usize) ->
     measure(reps, || {
         std::hint::black_box(index.query(std::hint::black_box(q), kws));
     })
+    .median
 }
 
 // ====================================================================
@@ -160,13 +201,16 @@ fn e1(cfg: &Config) {
                 let ti = orp_query_time(&index, &q, kws, cfg.reps());
                 let tk = measure(cfg.reps(), || {
                     std::hint::black_box(kf.query_rect(&q, kws));
-                });
+                })
+                .median;
                 let ts = measure(3, || {
                     std::hint::black_box(sf.query_rect(&q, kws));
-                });
+                })
+                .median;
                 let tf = measure(3, || {
                     std::hint::black_box(fs.query_rect(&q, kws));
-                });
+                })
+                .median;
                 let big_n = dataset.input_size() as f64;
                 ns.push(big_n);
                 times.push(ti.as_secs_f64());
@@ -225,10 +269,12 @@ fn e1(cfg: &Config) {
             let ti = orp_query_time(&index, &q, kws, cfg.reps());
             let tk = measure(cfg.reps(), || {
                 std::hint::black_box(kf.query_rect(&q, kws));
-            });
+            })
+            .median;
             let tf = measure(3, || {
                 std::hint::black_box(fs.query_rect(&q, kws));
-            });
+            })
+            .median;
             let big_n = ps.dataset.input_size() as f64;
             ns.push(big_n);
             ops.push(stats.objects_examined() as f64);
@@ -272,7 +318,8 @@ fn e1(cfg: &Config) {
             let ti = orp_query_time(&index, &q, &ps.query_keywords, cfg.reps());
             let tk = measure(cfg.reps(), || {
                 std::hint::black_box(kf.query_rect(&q, &ps.query_keywords));
-            });
+            })
+            .median;
             outs.push(planted as f64);
             ops.push(stats.objects_examined() as f64);
             let big_n = ps.dataset.input_size() as f64;
@@ -316,10 +363,12 @@ fn e2(cfg: &Config) {
         let kws = &ps.query_keywords;
         let to = measure(cfg.reps(), || {
             std::hint::black_box(orp.query(&q, kws));
-        });
+        })
+        .median;
         let tl = measure(cfg.reps(), || {
             std::hint::black_box(lc.query_rect(&q, kws));
-        });
+        })
+        .median;
         let big_n = ps.dataset.input_size() as f64;
         t.row(vec![
             format!("{}", big_n as u64),
@@ -365,10 +414,12 @@ fn e3(cfg: &Config) {
             let out_len = hits.len();
             let ti = measure(cfg.reps(), || {
                 std::hint::black_box(index.query(&q, kws));
-            });
+            })
+            .median;
             let ts = measure(3, || {
                 std::hint::black_box(skq_core::rr::rr_bruteforce(&rects, &q, kws));
-            });
+            })
+            .median;
             let big_n: usize = rects.iter().map(|(_, k)| k.len()).sum();
             ns.push(big_n as f64);
             ops.push(stats.objects_examined() as f64);
@@ -407,10 +458,12 @@ fn e4(cfg: &Config) {
     for t_arg in [1usize, 4, 16, 64, 256] {
         let ti = measure(cfg.reps(), || {
             std::hint::black_box(index.query(&q, t_arg, kws));
-        });
+        })
+        .median;
         let tk = measure(cfg.reps(), || {
             std::hint::black_box(kf.nn_linf(&q, t_arg, kws));
-        });
+        })
+        .median;
         ts_axis.push(t_arg as f64);
         times.push(ti.as_secs_f64());
         t.row(vec![t_arg.to_string(), us(ti), us(tk)]);
@@ -430,10 +483,12 @@ fn e4(cfg: &Config) {
         let kf = KeywordsFirst::build(&ps.dataset);
         let ti = measure(cfg.reps(), || {
             std::hint::black_box(index.query(&q, 16, &ps.query_keywords));
-        });
+        })
+        .median;
         let tk = measure(cfg.reps(), || {
             std::hint::black_box(kf.nn_linf(&q, 16, &ps.query_keywords));
-        });
+        })
+        .median;
         let big_n = ps.dataset.input_size() as f64;
         ns.push(big_n);
         times.push(ti.as_secs_f64());
@@ -480,19 +535,24 @@ fn e5(cfg: &Config) {
         let (_, sk) = kdcells.query_with_stats(&q, kws);
         let t1 = measure(cfg.reps(), || {
             std::hint::black_box(willard.query_polytope(&q, kws));
-        });
+        })
+        .median;
         let t2 = measure(cfg.reps(), || {
             std::hint::black_box(kdcells.query_polytope(&q, kws));
-        });
+        })
+        .median;
         let t3 = measure(cfg.reps(), || {
             std::hint::black_box(kf.query_polytope(&q, kws));
-        });
+        })
+        .median;
         let t4 = measure(3, || {
             std::hint::black_box(sf.query_polytope(&q, kws));
-        });
+        })
+        .median;
         let t5 = measure(3, || {
             std::hint::black_box(fs.query_polytope(&q, kws));
-        });
+        })
+        .median;
         let big_n = ps.dataset.input_size() as f64;
         ns.push(big_n);
         tw.push(sw.objects_examined() as f64);
@@ -556,13 +616,15 @@ fn e5(cfg: &Config) {
             if sw.crossing_nodes > worst_w.1 {
                 let t1 = measure(3, || {
                     std::hint::black_box(willard.query_polytope(&q, kws));
-                });
+                })
+                .median;
                 worst_w = (sw.nodes_visited, sw.crossing_nodes, hits.len(), t1);
             }
             if sk.crossing_nodes > worst_k.1 {
                 let t2 = measure(3, || {
                     std::hint::black_box(kdcells.query_polytope(&q, kws));
-                });
+                })
+                .median;
                 worst_k = (sk.nodes_visited, sk.crossing_nodes, t2);
             }
         }
@@ -610,13 +672,16 @@ fn e6(cfg: &Config) {
         let out_len = index.query(&ball, kws).len();
         let t1 = measure(cfg.reps(), || {
             std::hint::black_box(index.query(&ball, kws));
-        });
+        })
+        .median;
         let t2 = measure(cfg.reps(), || {
             std::hint::black_box(kf.query_ball(&ball, kws));
-        });
+        })
+        .median;
         let t3 = measure(3, || {
             std::hint::black_box(fs.query_ball(&ball, kws));
-        });
+        })
+        .median;
         let big_n = ps.dataset.input_size() as f64;
         ns.push(big_n);
         times.push(t1.as_secs_f64());
@@ -652,10 +717,12 @@ fn e7(cfg: &Config) {
     for t_arg in [1usize, 4, 16, 64] {
         let t1 = measure(cfg.reps(), || {
             std::hint::black_box(index.query(&q, t_arg, kws));
-        });
+        })
+        .median;
         let t2 = measure(cfg.reps(), || {
             std::hint::black_box(kf.nn_l2(&q, t_arg, kws));
-        });
+        })
+        .median;
         ts_axis.push(t_arg as f64);
         times.push(t1.as_secs_f64());
         t.row(vec![t_arg.to_string(), us(t1), us(t2)]);
@@ -743,10 +810,12 @@ fn e9(cfg: &Config) {
             let (_, stats) = ksi.intersect_with_stats(&inst.query);
             let t1 = measure(cfg.reps(), || {
                 std::hint::black_box(ksi.intersect(&inst.query));
-            });
+            })
+            .median;
             let t2 = measure(cfg.reps(), || {
                 std::hint::black_box(inv.intersect(&inst.query));
-            });
+            })
+            .median;
             // Bound (4): N^(1-1/k) + N^(1-1/k)·OUT^(1/k) + OUT. The
             // examined-object count must stay below a constant multiple
             // of it (adaptive instances land far below).
@@ -802,10 +871,12 @@ fn e10(cfg: &Config) {
         let inv = InvertedIndex::build(&inst.docs);
         let t1 = measure(cfg.reps(), || {
             std::hint::black_box(ksi.intersect(&inst.query));
-        });
+        })
+        .median;
         let t2 = measure(cfg.reps(), || {
             std::hint::black_box(inv.intersect(&inst.query));
-        });
+        })
+        .median;
         t.row(vec![
             format!("{:.1e}", planted as f64 / n as f64),
             planted.to_string(),
@@ -852,10 +923,12 @@ fn x1(cfg: &Config) {
         let kws = &ps.query_keywords;
         let td = measure(cfg.reps(), || {
             std::hint::black_box(dynamic.query(&q, kws));
-        });
+        })
+        .median;
         let ts = measure(cfg.reps(), || {
             std::hint::black_box(static_index.query(&q, kws));
-        });
+        })
+        .median;
         // Sanity: identical answer sizes.
         assert_eq!(
             dynamic.query(&q, kws).len(),
@@ -894,19 +967,22 @@ fn x2(cfg: &Config) {
         let out_len = index.query(&q, kws).len();
         let tc = measure(cfg.reps(), || {
             std::hint::black_box(index.query(std::hint::black_box(&q), kws));
-        });
+        })
+        .median;
         let tn = measure(cfg.reps(), || {
             let mut sink = CountSink::new();
             let mut stats = QueryStats::new();
             let _ = index.query_sink(std::hint::black_box(&q), kws, &mut sink, &mut stats);
             std::hint::black_box(sink.count());
-        });
+        })
+        .median;
         let tl = measure(cfg.reps(), || {
             let mut sink = LimitSink::new(CountSink::new(), 10);
             let mut stats = QueryStats::new();
             let _ = index.query_sink(std::hint::black_box(&q), kws, &mut sink, &mut stats);
             std::hint::black_box(sink.emitted());
-        });
+        })
+        .median;
         t.row(vec![
             ps.dataset.input_size().to_string(),
             out_len.to_string(),
@@ -952,14 +1028,16 @@ fn x3(cfg: &Config) {
             let mut stats = QueryStats::new();
             let _ = index.query_sink(std::hint::black_box(&q), kws, &mut out, &mut stats);
             std::hint::black_box(out.len());
-        });
+        })
+        .median;
         let te = measure(cfg.reps(), || {
             let guard = QueryGuard::new();
             let mut sink = GuardedSink::new(Vec::new(), &guard);
             let mut stats = QueryStats::new();
             let _ = index.query_sink(std::hint::black_box(&q), kws, &mut sink, &mut stats);
             std::hint::black_box(sink.emitted());
-        });
+        })
+        .median;
         // All three limits armed, none of them close to tripping.
         let ta = measure(cfg.reps(), || {
             let guard = QueryGuard::new()
@@ -970,7 +1048,8 @@ fn x3(cfg: &Config) {
             let mut stats = QueryStats::new();
             let _ = index.query_sink(std::hint::black_box(&q), kws, &mut sink, &mut stats);
             std::hint::black_box(sink.emitted());
-        });
+        })
+        .median;
         let tax = (ta.as_secs_f64() / tp.as_secs_f64() - 1.0) * 100.0;
         t.row(vec![
             ps.dataset.input_size().to_string(),

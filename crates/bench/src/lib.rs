@@ -9,6 +9,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod trajectory;
+
 use std::time::{Duration, Instant};
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -17,8 +20,26 @@ use skq_geom::Point;
 use skq_invidx::Keyword;
 use skq_workload::ksi::planted_instance;
 
-/// Median wall-clock time of `reps` runs of `f`.
-pub fn measure(reps: usize, mut f: impl FnMut()) -> Duration {
+/// Wall-clock summary of repeated runs of a closure (see [`measure`]).
+///
+/// Harness tables print [`median`](Self::median) (the robust central
+/// tendency the tables always used); the bench trajectory records all
+/// three order statistics plus the rep count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Measurement {
+    /// Fastest observed run.
+    pub min: Duration,
+    /// Median run.
+    pub median: Duration,
+    /// 90th-percentile run (the slowest run for `reps < 10`).
+    pub p90: Duration,
+    /// Number of repetitions measured.
+    pub reps: usize,
+}
+
+/// Wall-clock time of `reps` runs of `f`, summarized as a
+/// [`Measurement`].
+pub fn measure(reps: usize, mut f: impl FnMut()) -> Measurement {
     assert!(reps >= 1);
     let mut samples: Vec<Duration> = (0..reps)
         .map(|_| {
@@ -28,7 +49,13 @@ pub fn measure(reps: usize, mut f: impl FnMut()) -> Duration {
         })
         .collect();
     samples.sort_unstable();
-    samples[samples.len() / 2]
+    let p90 = ((reps as f64 * 0.9).ceil() as usize).clamp(1, reps) - 1;
+    Measurement {
+        min: samples[0],
+        median: samples[reps / 2],
+        p90: samples[p90],
+        reps,
+    }
 }
 
 /// Ordinary-least-squares slope of `ln y` against `ln x` — the fitted
@@ -322,10 +349,21 @@ mod tests {
     }
 
     #[test]
-    fn measure_returns_positive() {
-        let d = measure(3, || {
+    fn measure_orders_its_statistics() {
+        let m = measure(5, || {
             std::hint::black_box((0..1000).sum::<u64>());
         });
-        assert!(d.as_nanos() < 1_000_000_000);
+        assert_eq!(m.reps, 5);
+        assert!(m.min <= m.median);
+        assert!(m.median <= m.p90);
+        assert!(m.p90.as_nanos() < 1_000_000_000);
+    }
+
+    #[test]
+    fn measure_single_rep_degenerates() {
+        let m = measure(1, || {});
+        assert_eq!(m.min, m.median);
+        assert_eq!(m.median, m.p90);
+        assert_eq!(m.reps, 1);
     }
 }

@@ -137,6 +137,7 @@ impl LinfNnIndex {
     }
 
     fn build_inner(dataset: &Dataset, engine: RectEngine) -> Self {
+        let _span = skq_obs::Span::enter("nn_linf.build");
         let start = std::time::Instant::now();
         let dim = dataset.dim();
         let mut sorted_coords = Vec::with_capacity(dim);

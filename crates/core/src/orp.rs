@@ -77,6 +77,7 @@ impl OrpKwIndex {
     ) -> Result<Self, SkqError> {
         validate::build_k(k)?;
         failpoints::check("orp::build")?;
+        let _span = skq_obs::Span::enter("orp.build");
         let start = std::time::Instant::now();
         let dim = dataset.dim();
         let inner = if dim <= 2 {

@@ -355,6 +355,7 @@ impl PlannedOrpKw {
         stats: &mut QueryStats,
     ) -> Plan {
         let span = skq_obs::Span::enter("orp.planned_query");
+        skq_obs::trace::attach_str("build_tier", self.tier().label());
         let est = self.estimate(q, keywords);
         let plan = est.best();
         let mut tee = TeeSink::new(&mut *sink, CountSink::new());

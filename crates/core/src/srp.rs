@@ -65,6 +65,7 @@ impl SrpKwIndex {
     pub fn try_build(dataset: &Dataset, k: usize) -> Result<Self, SkqError> {
         validate::build_k(k)?;
         failpoints::check("srp::build")?;
+        let _span = skq_obs::Span::enter("srp.build");
         let start = std::time::Instant::now();
         let dim = dataset.dim();
         if dim + 1 > skq_geom::MAX_DIM {

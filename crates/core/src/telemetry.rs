@@ -34,6 +34,14 @@ pub fn record_build(index: &'static str, duration: Duration, nodes: u64, pivots:
     reg.counter("skq_build_pivots_total", &labels).add(pivots);
     reg.gauge("skq_build_estimated_bytes", &labels)
         .set(bytes as f64);
+    if skq_obs::trace::is_enabled() {
+        // Annotate the innermost open span (the `<index>.build` span
+        // entered by the build path) so the trace shows what got built.
+        skq_obs::trace::attach_str("index", index);
+        skq_obs::trace::attach_u64("nodes", nodes);
+        skq_obs::trace::attach_u64("pivots", pivots);
+        skq_obs::trace::attach_u64("estimated_bytes", bytes);
+    }
 }
 
 /// Records one query execution without planner involvement.
@@ -66,6 +74,31 @@ pub fn record_query_planned(
         .observe(duration.as_micros() as u64);
     reg.histogram("skq_query_objects_examined", &labels)
         .observe(stats.objects_examined());
+    let trace_id = skq_obs::trace::current_trace_id();
+    if trace_id.is_some() {
+        // Annotate the innermost open span (the query span entered by
+        // the calling wrapper, still open when it records telemetry)
+        // with the execution counters the paper's analysis bounds.
+        use skq_obs::trace;
+        trace::attach_str("kind", kind);
+        trace::attach_u64("k", k as u64);
+        trace::attach_u64("nodes_visited", stats.nodes_visited);
+        trace::attach_u64("cells_pruned", stats.covered_nodes + stats.small_path_nodes);
+        trace::attach_u64("crossing_nodes", stats.crossing_nodes);
+        trace::attach_u64("postings_scanned", stats.list_scans);
+        trace::attach_u64("pivot_scans", stats.pivot_scans);
+        trace::attach_u64("sink_emissions", stats.emitted);
+        trace::attach_u64("reported", stats.reported);
+        if let Some(p) = plan {
+            trace::attach_str("plan", p);
+        }
+        if let Some(c) = predicted_cost {
+            trace::attach_f64("predicted_cost", c);
+        }
+        if let Some(c) = actual_cost {
+            trace::attach_f64("actual_cost", c);
+        }
+    }
     query_log().push(QueryRecord {
         kind,
         k,
@@ -76,6 +109,7 @@ pub fn record_query_planned(
         predicted_cost,
         actual_cost,
         duration,
+        trace_id,
     });
 }
 

@@ -69,6 +69,11 @@ pub const RULES: &[(&str, &str, RuleFn)] = &[
         "every `pub fn try_*` documents a `# Errors` section",
         l11_try_fns_document_errors,
     ),
+    (
+        "L12",
+        "every trace-span name (`Span::enter*` literal) appears in DESIGN.md \u{a7}13",
+        l12_trace_spans_documented,
+    ),
 ];
 
 /// Modules on the request path: panics here would take down a serving
@@ -601,6 +606,71 @@ fn l11_try_fns_document_errors(ws: &Workspace, out: &mut Vec<Finding>) {
                     o,
                     format!("`pub fn {name}` has no `# Errors` doc section"),
                 );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L12
+
+/// Span names are the coordinate system of the exported traces: a name
+/// that exists only in source cannot be interpreted by anyone reading a
+/// Perfetto capture. Every literal passed to `Span::enter` /
+/// `Span::enter_in` outside tests must therefore appear in DESIGN.md's
+/// span table (§13). Names built from non-literal expressions are out
+/// of scope, mirroring L03's treatment of const-registered metrics.
+fn l12_trace_spans_documented(ws: &Workspace, out: &mut Vec<Finding>) {
+    let design = ws.docs.get("DESIGN.md").map(String::as_str).unwrap_or("");
+    let check = |file: &SourceFile, o: usize, name: String, out: &mut Vec<Finding>| {
+        if !design.contains(name.as_str()) {
+            push(
+                out,
+                "L12",
+                file,
+                o,
+                format!("trace span `{name}` is not documented in DESIGN.md \u{a7}13"),
+            );
+        }
+    };
+    for file in &ws.files {
+        // `Span::enter("name")` — the name is the first argument.
+        for o in file.masked_offsets("Span::enter(") {
+            if file.is_test_at(o) {
+                continue;
+            }
+            let open = o + "Span::enter(".len();
+            if let Some(name) = literal_after(file, open) {
+                check(file, o, name, out);
+            }
+        }
+        // `Span::enter_in(registry, "name")` — the name is the second
+        // argument: the literal after the first top-level comma.
+        for o in file.masked_offsets("Span::enter_in(") {
+            if file.is_test_at(o) {
+                continue;
+            }
+            let open = o + "Span::enter_in".len(); // the '('
+            let bytes = file.masked.as_bytes();
+            let mut depth = 0i64;
+            let mut i = open;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'(' => depth += 1,
+                    b')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    b',' if depth == 1 => break,
+                    _ => {}
+                }
+                i += 1;
+            }
+            if bytes.get(i) == Some(&b',') {
+                if let Some(name) = literal_after(file, i + 1) {
+                    check(file, o, name, out);
+                }
             }
         }
     }

@@ -221,6 +221,22 @@ fn l11_requires_errors_doc_on_try_fns() {
 }
 
 #[test]
+fn l12_requires_documented_span_names() {
+    let src = "pub fn f(reg: &MetricsRegistry) {\n    let _a = skq_obs::Span::enter(\"orp.query\");\n    let _b = Span::enter_in(reg, \"rogue.span\");\n}\n";
+    let findings = lint(&[
+        ("crates/core/src/orp.rs", src),
+        ("DESIGN.md", "| `orp.query` | query wrapper | — |\n"),
+    ]);
+    assert_one(&findings, "L12", "crates/core/src/orp.rs", 3, 14);
+    assert!(findings[0].message.contains("rogue.span"), "{findings:?}");
+    // Test regions and non-literal names are out of scope.
+    let exempt = "#[cfg(test)]\nmod tests {\n    fn f() { let _s = Span::enter(\"undocumented\"); }\n}\npub fn g(name: &str) {\n    let _s = Span::enter(name);\n}\n";
+    assert!(lint(&[("crates/core/src/orp.rs", exempt)])
+        .iter()
+        .all(|f| f.rule != "L12"));
+}
+
+#[test]
 fn inline_suppression_needs_justification() {
     let justified = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // skq-lint: allow(L01) fixture: reason given\n}\n";
     assert!(lint(&[("crates/core/src/batch.rs", justified)]).is_empty());
@@ -238,7 +254,7 @@ fn inline_suppression_needs_justification() {
 fn every_rule_id_is_covered_by_a_fixture() {
     // Meta-check: the registry and this file must grow together.
     let covered = [
-        "L01", "L02", "L03", "L04", "L05", "L06", "L07", "L08", "L09", "L10", "L11",
+        "L01", "L02", "L03", "L04", "L05", "L06", "L07", "L08", "L09", "L10", "L11", "L12",
     ];
     for (id, _, _) in skq_lint::rules::RULES {
         assert!(covered.contains(id), "rule {id} has no fixture test");

@@ -13,7 +13,11 @@
 //! * [`Span`] — RAII wall-time timers recording into histograms, e.g.
 //!   `Span::enter("orp.query")`;
 //! * [`QueryLog`] — a fixed-capacity ring buffer of recent
-//!   [`QueryRecord`]s for post-hoc debugging;
+//!   [`QueryRecord`]s for post-hoc debugging, with a slowest-query
+//!   tracker pointing into the trace buffer;
+//! * [`trace`] — opt-in structured tracing: every [`Span`] becomes a
+//!   nested begin/end event pair with typed attributes, exportable as
+//!   chrome-trace/Perfetto JSON via [`trace::export_chrome`];
 //! * two exposition formats — [`MetricsRegistry::render_prometheus`]
 //!   (the text format scrapers ingest) and
 //!   [`MetricsRegistry::report`] (human-readable).
@@ -43,12 +47,14 @@ mod histogram;
 mod metrics;
 mod querylog;
 mod span;
+pub mod trace;
 
 pub use expose::{escape_label_value, sanitize_name};
 pub use histogram::{bucket_index, bucket_upper_edge, Histogram, NUM_BUCKETS};
 pub use metrics::{Counter, Gauge, MetricKind, MetricsRegistry};
 pub use querylog::{QueryLog, QueryRecord};
 pub use span::{Span, SPAN_METRIC};
+pub use trace::{AttrValue, TraceEvent};
 
 use std::sync::OnceLock;
 

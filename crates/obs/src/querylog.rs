@@ -30,13 +30,22 @@ pub struct QueryRecord {
     pub actual_cost: Option<f64>,
     /// Wall time of the execution.
     pub duration: Duration,
+    /// Root-span id in the [trace buffer](crate::trace) when the query
+    /// ran under tracing — the pointer from the log into the exported
+    /// chrome-trace file (`args.trace_id` on every event of the query).
+    pub trace_id: Option<u64>,
 }
 
 /// A bounded, thread-safe ring buffer of [`QueryRecord`]s.
+///
+/// Besides the ring, the log tracks the slowest record seen since the
+/// last [`clear`](Self::clear) — the ring may have evicted it, but its
+/// [`trace_id`](QueryRecord::trace_id) keeps pointing into the trace.
 #[derive(Debug)]
 pub struct QueryLog {
     capacity: usize,
     inner: Mutex<VecDeque<QueryRecord>>,
+    slowest: Mutex<Option<QueryRecord>>,
 }
 
 impl QueryLog {
@@ -45,16 +54,33 @@ impl QueryLog {
         Self {
             capacity: capacity.max(1),
             inner: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            slowest: Mutex::new(None),
         }
     }
 
     /// Appends a record, evicting the oldest when full.
     pub fn push(&self, record: QueryRecord) {
+        {
+            let mut s = self.slowest.lock().unwrap();
+            let is_slowest = match s.as_ref() {
+                Some(r) => record.duration >= r.duration,
+                None => true,
+            };
+            if is_slowest {
+                *s = Some(record.clone());
+            }
+        }
         let mut q = self.inner.lock().unwrap();
         if q.len() == self.capacity {
             q.pop_front();
         }
         q.push_back(record);
+    }
+
+    /// The slowest record since the last [`clear`](Self::clear), even
+    /// if the ring has already evicted it.
+    pub fn slowest(&self) -> Option<QueryRecord> {
+        self.slowest.lock().unwrap().clone()
     }
 
     /// The most recent `n` records, oldest first.
@@ -79,9 +105,10 @@ impl QueryLog {
         self.capacity
     }
 
-    /// Removes all records.
+    /// Removes all records and resets the slowest-query tracker.
     pub fn clear(&self) {
         self.inner.lock().unwrap().clear();
+        *self.slowest.lock().unwrap() = None;
     }
 
     /// One line per recent record, oldest first.
@@ -103,6 +130,9 @@ impl QueryLog {
             );
             if let (Some(p), Some(a)) = (r.predicted_cost, r.actual_cost) {
                 let _ = write!(out, " predicted={p:.0} actual={a:.0}");
+            }
+            if let Some(t) = r.trace_id {
+                let _ = write!(out, " trace={t}");
             }
             out.push('\n');
         }
@@ -152,6 +182,44 @@ mod tests {
         }
         let ks: Vec<usize> = log.recent(2).iter().map(|r| r.k).collect();
         assert_eq!(ks, vec![4, 5]);
+    }
+
+    #[test]
+    fn slowest_survives_ring_eviction() {
+        let log = QueryLog::new(2);
+        log.push(QueryRecord {
+            kind: "slow",
+            duration: Duration::from_micros(900),
+            trace_id: Some(7),
+            ..Default::default()
+        });
+        for k in 0..5 {
+            log.push(QueryRecord {
+                kind: "fast",
+                k,
+                duration: Duration::from_micros(10),
+                ..Default::default()
+            });
+        }
+        // The ring only holds the last two fast records…
+        assert!(log.recent(10).iter().all(|r| r.kind == "fast"));
+        // …but the slowest tracker still points at the slow one's trace.
+        let slowest = log.slowest().expect("slowest tracked");
+        assert_eq!(slowest.kind, "slow");
+        assert_eq!(slowest.trace_id, Some(7));
+        log.clear();
+        assert!(log.slowest().is_none());
+    }
+
+    #[test]
+    fn report_includes_trace_pointer() {
+        let log = QueryLog::new(4);
+        log.push(QueryRecord {
+            kind: "orp",
+            trace_id: Some(3),
+            ..Default::default()
+        });
+        assert!(log.report(4).contains(" trace=3"), "{}", log.report(4));
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub const SPAN_METRIC: &str = "skq_span_duration_microseconds";
 pub struct Span {
     hist: Arc<Histogram>,
     start: Instant,
+    traced: bool,
 }
 
 impl Span {
@@ -43,10 +44,15 @@ impl Span {
     }
 
     /// Starts a span recording into `registry`.
+    ///
+    /// When [tracing](crate::trace) is enabled the span also emits a
+    /// begin/end event pair into the global trace buffer, regardless of
+    /// which registry receives the duration histogram.
     pub fn enter_in(registry: &MetricsRegistry, name: &str) -> Self {
         Self {
             hist: registry.histogram(SPAN_METRIC, &[("span", name)]),
             start: Instant::now(),
+            traced: crate::trace::span_begin(name),
         }
     }
 
@@ -59,6 +65,9 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         self.hist.observe(self.start.elapsed().as_micros() as u64);
+        if self.traced {
+            crate::trace::span_end();
+        }
     }
 }
 

@@ -20,9 +20,12 @@
 //! ```
 //!
 //! Every query command also accepts `--stats` (print the execution
-//! counters and wall time) and `--metrics <path>` (write a Prometheus
-//! text-format snapshot of the build/query metric series). `rect` and
-//! `ball` additionally accept `--count-only` (stream the hits into a
+//! counters and wall time), `--metrics <path>` (write a Prometheus
+//! text-format snapshot of the build/query metric series) and
+//! `--trace <path>` (capture the build+query execution as a
+//! chrome-trace JSON file loadable in `ui.perfetto.dev` or
+//! `chrome://tracing`; spans carry the paper's execution counters as
+//! arguments). `rect` and `ball` additionally accept `--count-only` (stream the hits into a
 //! counter — no result set is materialized), `--limit <t>` (stop
 //! after `t` hits, the paper's threshold-query primitive),
 //! `--deadline-ms <ms>` (abandon the query at a wall-clock deadline,
@@ -37,6 +40,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
+use structured_keyword_search::obs;
 use structured_keyword_search::prelude::*;
 
 /// Usage errors (exit 1, with the usage text) vs. malformed flag
@@ -79,9 +83,9 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   skq demo <out.csv>
   skq stats <data.csv>
-  skq rect <data.csv> --lo a,b,… --hi a,b,… --tags t1,t2[,…] [--count-only] [--limit t] [--deadline-ms ms] [--max-results m] [--stats] [--metrics out.prom]
-  skq ball <data.csv> --center a,b,… --radius r --tags t1,t2[,…] [--count-only] [--limit t] [--deadline-ms ms] [--max-results m] [--stats] [--metrics out.prom]
-  skq nn   <data.csv> --at a,b,… --t N --tags t1,t2[,…] [--stats] [--metrics out.prom]";
+  skq rect <data.csv> --lo a,b,… --hi a,b,… --tags t1,t2[,…] [--count-only] [--limit t] [--deadline-ms ms] [--max-results m] [--stats] [--metrics out.prom] [--trace out.json]
+  skq ball <data.csv> --center a,b,… --radius r --tags t1,t2[,…] [--count-only] [--limit t] [--deadline-ms ms] [--max-results m] [--stats] [--metrics out.prom] [--trace out.json]
+  skq nn   <data.csv> --at a,b,… --t N --tags t1,t2[,…] [--stats] [--metrics out.prom] [--trace out.json]";
 
 fn run(args: &[String]) -> Result<(), CliError> {
     let cmd = args.first().ok_or("missing command")?.as_str();
@@ -130,6 +134,19 @@ fn run(args: &[String]) -> Result<(), CliError> {
                         .into(),
                 );
             }
+            if opts.has("trace") {
+                obs::trace::enable();
+            }
+            // Root span per command. The index-build span and the
+            // execution counters recorded by `telemetry::record_query`
+            // nest under it in the exported trace. One literal
+            // `Span::enter` per command keeps the span names auditable
+            // against DESIGN.md §13 (lint rule L12).
+            let root_span = match cmd {
+                "rect" => obs::Span::enter("cli.rect"),
+                "ball" => obs::Span::enter("cli.ball"),
+                _ => obs::Span::enter("cli.nn"),
+            };
             let started = std::time::Instant::now();
             // `hits` is None under --count-only: the matches stream into
             // a counter and no result vector exists to print.
@@ -250,12 +267,20 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 &stats,
                 elapsed,
             );
+            // Closing the root span after `record_query` keeps it the
+            // innermost open span while the counters attach to it.
+            drop(root_span);
+            if let Some(out) = opts.get("trace") {
+                obs::trace::disable();
+                write_creating_dirs(out, &obs::trace::export_chrome()).map_err(CliError::BadArg)?;
+                println!(
+                    "wrote query trace to {out} ({} events — load in ui.perfetto.dev or chrome://tracing)",
+                    obs::trace::event_count()
+                );
+            }
             if let Some(out) = opts.get("metrics") {
-                std::fs::write(
-                    out,
-                    structured_keyword_search::obs::global().render_prometheus(),
-                )
-                .map_err(|e| format!("{out}: {e}"))?;
+                write_creating_dirs(out, &obs::global().render_prometheus())
+                    .map_err(CliError::BadArg)?;
                 println!("wrote metrics snapshot to {out}");
             }
             Ok(())
@@ -267,6 +292,20 @@ fn run(args: &[String]) -> Result<(), CliError> {
 struct Loaded {
     dataset: Dataset,
     dict: Dictionary,
+}
+
+/// Writes an output artifact (`--metrics`, `--trace`), creating any
+/// missing parent directories first. Failures come back as a single
+/// scripting-friendly line (exit 2), never a panic or usage dump.
+fn write_creating_dirs(path: &str, contents: &str) -> Result<(), String> {
+    let p = std::path::Path::new(path);
+    if let Some(parent) = p.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(p, contents).map_err(|e| format!("{path}: {e}"))
 }
 
 fn load(path: &str) -> Result<Loaded, String> {
@@ -605,6 +644,49 @@ mod tests {
             run(&string_args(&["rect", d, "--tags", "pool,spa"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn metrics_write_failure_is_bad_arg() {
+        let dir = std::env::temp_dir().join("skq_cli_metrics_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("demo.csv");
+        std::fs::write(&data, demo_csv()).unwrap();
+        let d = data.to_str().unwrap();
+        // The data file itself as a parent directory cannot be created:
+        // the failure must surface as a one-line exit-2 error.
+        let bad_out = format!("{d}/nested/out.prom");
+        let args = string_args(&[
+            "rect",
+            d,
+            "--lo",
+            "100,8",
+            "--hi",
+            "200,10",
+            "--tags",
+            "pool,spa",
+            "--metrics",
+            &bad_out,
+        ]);
+        assert!(matches!(run(&args), Err(CliError::BadArg(_))));
+        // A missing (but creatable) parent directory is created.
+        let ok_out = dir.join("fresh/subdir/out.prom");
+        let _ = std::fs::remove_dir_all(dir.join("fresh"));
+        let args = string_args(&[
+            "rect",
+            d,
+            "--lo",
+            "100,8",
+            "--hi",
+            "200,10",
+            "--tags",
+            "pool,spa",
+            "--metrics",
+            ok_out.to_str().unwrap(),
+        ]);
+        run(&args).unwrap();
+        let snapshot = std::fs::read_to_string(&ok_out).unwrap();
+        assert!(snapshot.contains("skq_query_total"));
     }
 
     #[test]

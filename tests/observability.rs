@@ -119,3 +119,29 @@ fn suite_query_routes_appear_in_query_log() {
         .expect("suite query must be logged");
     assert_eq!(record.plan, Some("range_scan"));
 }
+
+#[test]
+fn traced_query_bumps_span_counter_and_logs_trace_pointer() {
+    let d = dataset();
+    let reg = obs::global();
+    let before = reg.counter_value("skq_trace_spans_total", &[]).unwrap_or(0);
+    obs::trace::enable();
+    let planner = PlannedOrpKw::build(&d, 2);
+    let (hits, _plan) = planner.query(&Rect::new(&[0.0, 0.0], &[5.0, 5.0]), &[0, 1]);
+    obs::trace::disable();
+    let after = reg.counter_value("skq_trace_spans_total", &[]).unwrap_or(0);
+    assert!(after > before, "enabled tracing must count recorded spans");
+
+    // The query-log record points into the exported capture, and the
+    // slowest-query tracker holds a record (it survives ring eviction).
+    let records = obs::query_log().recent(obs::QUERY_LOG_CAPACITY);
+    let record = records
+        .iter()
+        .rev()
+        .find(|r| {
+            r.kind == "orp_planned" && r.reported == hits.len() as u64 && r.trace_id.is_some()
+        })
+        .expect("traced planned query must log its trace_id");
+    assert!(record.trace_id.unwrap_or(0) >= 1, "trace ids start at 1");
+    assert!(obs::query_log().slowest().is_some());
+}
