@@ -18,6 +18,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use skq_geom::Rect;
 use skq_invidx::Keyword;
 
+use crate::concurrency::effective_threads;
 use crate::error::SkqError;
 use crate::failpoints;
 use crate::guard::{GuardedSink, QueryGuard};
@@ -94,8 +95,11 @@ impl BatchReport {
 ///
 /// With `threads = 1` this degenerates to a plain loop (no thread is
 /// spawned), so callers can use one code path for both modes;
-/// `threads = 0` is clamped to 1 (a zero-width pool makes no progress,
-/// so the nearest meaningful interpretation is sequential).
+/// `threads = 0` is clamped to 1 by
+/// [`concurrency::effective_threads`](crate::concurrency::effective_threads)
+/// (a zero-width pool makes no progress, so the nearest meaningful
+/// interpretation is sequential) — the same clamp the `skq-serve`
+/// worker pool applies.
 ///
 /// # Panics
 ///
@@ -130,7 +134,7 @@ pub fn run_batch_isolated(
     threads: usize,
     guard: &QueryGuard,
 ) -> BatchReport {
-    let threads = threads.max(1);
+    let threads = effective_threads(threads);
     if queries.is_empty() {
         return BatchReport {
             results: Vec::new(),

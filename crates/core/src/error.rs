@@ -39,6 +39,13 @@ pub enum SkqError {
         /// Zero-based index of the failed shard.
         shard: usize,
     },
+    /// The serving layer's admission control rejected the request:
+    /// the job queue was at capacity, so accepting more work would only
+    /// grow latency past every deadline.
+    Overloaded {
+        /// Queue depth observed when the request was rejected.
+        queue_depth: usize,
+    },
     /// An internal invariant violation or an injected fail point.
     Internal(String),
 }
@@ -54,6 +61,7 @@ impl SkqError {
             SkqError::DeadlineExceeded => "deadline_exceeded",
             SkqError::Cancelled => "cancelled",
             SkqError::ShardPanicked { .. } => "shard_panicked",
+            SkqError::Overloaded { .. } => "overloaded",
             SkqError::Internal(_) => "internal",
         }
     }
@@ -74,6 +82,12 @@ impl fmt::Display for SkqError {
             SkqError::Cancelled => f.write_str("query cancelled"),
             SkqError::ShardPanicked { shard } => {
                 write!(f, "batch shard {shard} panicked (retry also failed)")
+            }
+            SkqError::Overloaded { queue_depth } => {
+                write!(
+                    f,
+                    "server overloaded: job queue full ({queue_depth} pending)"
+                )
             }
             SkqError::Internal(msg) => write!(f, "internal error: {msg}"),
         }

@@ -32,6 +32,8 @@ pub const SITES: &[&str] = &[
     "framework::build",
     "dynamic::build_block",
     "batch::shard",
+    "serve::request",
+    "serve::worker",
 ];
 
 /// What an armed fail point does when hit.

@@ -39,6 +39,8 @@
 //!   (covered/crossing nodes of §3.3, type-1/type-2 nodes of §4).
 //! * [`telemetry`] — export hooks feeding build/query/planner series
 //!   into the process-wide `skq-obs` metrics registry and query log.
+//! * [`concurrency`] — shared thread-count clamping used by [`batch`]
+//!   and the `skq-serve` worker pool.
 //! * [`error`] / [`guard`] / [`failpoints`] — the robustness layer
 //!   (DESIGN.md §11): typed errors for the fallible
 //!   `try_build`/`try_query_into` surfaces, deadline/cancellation/
@@ -77,6 +79,7 @@
 // allows audited by skq-lint).
 #[warn(clippy::disallowed_methods, clippy::disallowed_macros)]
 pub mod batch;
+pub mod concurrency;
 pub mod dataset;
 pub mod dimred;
 #[warn(clippy::disallowed_methods, clippy::disallowed_macros)]

@@ -195,6 +195,38 @@ impl OrpKwSuite {
         (result, stats)
     }
 
+    /// Fallible variant of [`query_guarded`](Self::query_guarded) for
+    /// callers (the `skq-serve` request path) that want guard trips
+    /// delivered as typed errors instead of truncation markers.
+    ///
+    /// A result-budget trip (`with_max_results`) is *not* an error —
+    /// the caller asked for at most that many results — so it is
+    /// returned as a successful, truncated answer.
+    ///
+    /// # Errors
+    ///
+    /// * [`SkqError::InvalidQuery`] — the rectangle's dimensionality
+    ///   does not match the index, or a bound is NaN.
+    /// * [`SkqError::DeadlineExceeded`] — the guard's deadline tripped
+    ///   before the traversal finished.
+    /// * [`SkqError::Cancelled`] — the guard's cancel token was set.
+    pub fn try_query_guarded(
+        &self,
+        q: &Rect,
+        keywords: &[Keyword],
+        guard: &QueryGuard,
+    ) -> Result<(Vec<u32>, QueryStats), SkqError> {
+        validate::rect_query(q, self.dataset.dim())?;
+        let (ids, stats) = self.query_guarded(q, keywords, guard);
+        match stats.truncated_reason {
+            Some(crate::stats::TruncatedReason::DeadlineExceeded) => {
+                Err(SkqError::DeadlineExceeded)
+            }
+            Some(crate::stats::TruncatedReason::Cancelled) => Err(SkqError::Cancelled),
+            _ => Ok((ids, stats)),
+        }
+    }
+
     /// Routes a deduped keyword set to the right member and streams the
     /// answer into `sink`. Returns the route label for telemetry.
     fn dispatch<S: ResultSink>(

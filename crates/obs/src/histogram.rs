@@ -112,6 +112,11 @@ impl Histogram {
         self.quantile(0.50)
     }
 
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
     /// 95th-percentile estimate.
     pub fn p95(&self) -> u64 {
         self.quantile(0.95)

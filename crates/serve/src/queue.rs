@@ -1,0 +1,263 @@
+//! A mutex-sharded, work-stealing job queue with a hard capacity.
+//!
+//! One global `Mutex<VecDeque>` serializes every producer against every
+//! consumer; sharding the queue into stripes (one per worker, by
+//! default) turns that into mostly-uncontended locks. Producers push
+//! round-robin; a consumer drains its own stripe first and steals from
+//! the others when it runs dry, so an unlucky round-robin placement
+//! never strands a job behind an idle worker.
+//!
+//! Capacity is enforced with an atomic reservation
+//! (`fetch_update`), so the queue never holds more than `capacity`
+//! jobs — the precondition the serving layer's admission control
+//! ([`SkqError::Overloaded`](skq_core::SkqError)) relies on.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// How long an idle consumer parks on its stripe's condvar before
+/// re-scanning every stripe for stealable work. Bounds the latency of
+/// a push that landed on another stripe while this consumer slept.
+const IDLE_PARK: Duration = Duration::from_millis(2);
+
+struct Stripe<T> {
+    jobs: Mutex<VecDeque<T>>,
+    available: Condvar,
+}
+
+/// A bounded multi-producer multi-consumer queue sharded over striped
+/// mutexes. See the module docs for the design.
+pub struct ShardedQueue<T> {
+    stripes: Vec<Stripe<T>>,
+    len: AtomicUsize,
+    next: AtomicUsize,
+    capacity: usize,
+    closed: AtomicBool,
+}
+
+impl<T> ShardedQueue<T> {
+    /// A queue with `stripes` shards (clamped to at least 1) holding at
+    /// most `capacity` jobs in total. A capacity of 0 is legal and
+    /// rejects every push — useful for forcing the overload path in
+    /// tests.
+    pub fn new(stripes: usize, capacity: usize) -> Self {
+        let stripes = skq_core::concurrency::effective_threads(stripes);
+        Self {
+            stripes: (0..stripes)
+                .map(|_| Stripe {
+                    jobs: Mutex::new(VecDeque::new()),
+                    available: Condvar::new(),
+                })
+                .collect(),
+            len: AtomicUsize::new(0),
+            next: AtomicUsize::new(0),
+            capacity,
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Enqueues `item`, or hands it back if the queue is full or
+    /// closed. Never blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` when the queue already holds `capacity`
+    /// jobs, or after [`close`](Self::close).
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(item);
+        }
+        // Reserve a slot first: the length can therefore never
+        // overshoot the capacity, even with concurrent producers.
+        if self
+            .len
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < self.capacity).then_some(n + 1)
+            })
+            .is_err()
+        {
+            return Err(item);
+        }
+        let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.stripes.len();
+        let stripe = &self.stripes[idx];
+        {
+            let mut jobs = stripe.jobs.lock().unwrap_or_else(PoisonError::into_inner);
+            jobs.push_back(item);
+        }
+        stripe.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next job for `worker` (its stripe first, then
+    /// stealing), blocking while the queue is open but empty. Returns
+    /// `None` once the queue is closed **and** drained — the worker's
+    /// signal to exit.
+    pub fn pop(&self, worker: usize) -> Option<T> {
+        let n = self.stripes.len();
+        let home = worker % n;
+        loop {
+            for offset in 0..n {
+                let stripe = &self.stripes[(home + offset) % n];
+                let mut jobs = stripe.jobs.lock().unwrap_or_else(PoisonError::into_inner);
+                if let Some(item) = jobs.pop_front() {
+                    self.len.fetch_sub(1, Ordering::AcqRel);
+                    return Some(item);
+                }
+            }
+            if self.closed.load(Ordering::Acquire) && self.len.load(Ordering::Acquire) == 0 {
+                return None;
+            }
+            let stripe = &self.stripes[home];
+            let jobs = stripe.jobs.lock().unwrap_or_else(PoisonError::into_inner);
+            if jobs.is_empty() && !self.closed.load(Ordering::Acquire) {
+                // Timed park: a notify can land on a stripe whose
+                // worker is mid-steal elsewhere, so waiters must
+                // re-scan on their own schedule rather than trust
+                // wake-ups alone.
+                drop(
+                    stripe
+                        .available
+                        .wait_timeout(jobs, IDLE_PARK)
+                        .unwrap_or_else(PoisonError::into_inner),
+                );
+            }
+        }
+    }
+
+    /// Number of queued jobs (racy by nature; exact at quiescence).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Closes the queue: future pushes fail, and consumers drain the
+    /// backlog then observe `None`. Idempotent.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        for stripe in &self.stripes {
+            stripe.available.notify_all();
+        }
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_a_single_stripe() {
+        let q = ShardedQueue::new(1, 16);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop(0), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_a_hard_limit() {
+        let q = ShardedQueue::new(4, 3);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert!(q.try_push(3).is_ok());
+        assert_eq!(q.try_push(4), Err(4));
+        assert_eq!(q.len(), 3);
+        let _ = q.pop(0);
+        assert!(q.try_push(4).is_ok());
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let q = ShardedQueue::new(2, 0);
+        assert_eq!(q.try_push(9), Err(9));
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = ShardedQueue::new(2, 8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(3));
+        let mut drained = vec![q.pop(0).unwrap(), q.pop(1).unwrap()];
+        drained.sort_unstable();
+        assert_eq!(drained, vec![1, 2]);
+        assert_eq!(q.pop(0), None);
+    }
+
+    #[test]
+    fn stealing_finds_jobs_on_foreign_stripes() {
+        // 4 stripes, round-robin pushes: worker 3 must steal to see
+        // jobs pushed to stripes 0..=2.
+        let q = ShardedQueue::new(4, 8);
+        for i in 0..3 {
+            q.try_push(i).unwrap();
+        }
+        let mut got = vec![q.pop(3).unwrap(), q.pop(3).unwrap(), q.pop(3).unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_preserve_every_job() {
+        let q = Arc::new(ShardedQueue::new(4, 1024));
+        let total = 1000u32;
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..(total / 4) {
+                        let mut item = p * (total / 4) + i;
+                        loop {
+                            match q.try_push(item) {
+                                Ok(()) => break,
+                                Err(back) => item = back,
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|w| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    while let Some(item) = q.pop(w) {
+                        seen.push(item);
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..total).collect::<Vec<_>>());
+    }
+}

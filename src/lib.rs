@@ -52,6 +52,7 @@
 //! | [`invidx`] | inverted-index substrate: documents, dictionary, postings |
 //! | [`workload`] | seeded synthetic data and query generators |
 //! | [`obs`] | observability: metrics registry, span timers, query log, Prometheus exposition |
+//! | [`serve`] | concurrent serving: worker pool, sharded job queue, epoch-based snapshot rotation |
 //!
 //! See `DESIGN.md` for the architecture and `EXPERIMENTS.md` for the
 //! empirical validation of the paper's Table 1.
@@ -63,6 +64,7 @@ pub use skq_core as core;
 pub use skq_geom as geom;
 pub use skq_invidx as invidx;
 pub use skq_obs as obs;
+pub use skq_serve as serve;
 pub use skq_workload as workload;
 
 /// The most commonly used types, re-exported flat.
@@ -96,6 +98,7 @@ pub mod prelude {
         Region, Simplex,
     };
     pub use skq_invidx::{Dictionary, Document, InvertedIndex, Keyword, ObjectId};
+    pub use skq_serve::{Pending, Reply, Request, Server, ServerConfig, SnapshotCell};
     pub use skq_workload::queries::QueryGen;
     pub use skq_workload::{KeywordModel, SpatialKeywordConfig, SpatialModel};
 }

@@ -14,7 +14,9 @@ use structured_keyword_search::core::batch::{run_batch_isolated, BatchQuery, Sha
 use structured_keyword_search::core::dynamic::DynamicOrpKw;
 use structured_keyword_search::core::failpoints::{self, FailAction};
 use structured_keyword_search::core::guard::QueryGuard;
+use structured_keyword_search::core::suite::OrpKwSuite;
 use structured_keyword_search::prelude::*;
+use structured_keyword_search::serve::{Request, Server, ServerConfig};
 
 static CHAOS_LOCK: Mutex<()> = Mutex::new(());
 
@@ -111,6 +113,21 @@ fn drive(site: &str, d: &Dataset) -> Result<(), SkqError> {
                 .into_results()
                 .map(|_| ())
         }
+        "serve::request" | "serve::worker" => {
+            let server = Server::start(
+                OrpKwSuite::build(d, 2),
+                ServerConfig {
+                    workers: 1,
+                    queue_capacity: 8,
+                    ..ServerConfig::default()
+                },
+            );
+            let result = server
+                .query(Request::new(Rect::full(2), vec![0, 1]))
+                .map(|_| ());
+            server.shutdown();
+            result
+        }
         other => panic!("no driver for fail-point site {other}"),
     }
 }
@@ -133,6 +150,14 @@ fn every_site_surfaces_as_typed_error_and_recovers() {
                     matches!(err, SkqError::ShardPanicked { .. }),
                     "{site}: {err}"
                 )
+            }
+            // The worker-level fail point becomes a panic between pop
+            // and reply: the job dies with the unwind (the supervisor
+            // respawns the worker), so the caller sees the
+            // worker-lost error rather than the site name.
+            "serve::worker" => {
+                assert!(matches!(err, SkqError::Internal(_)), "{site}: {err}");
+                assert!(err.to_string().contains("worker lost"), "{site}: {err}");
             }
             _ => {
                 assert!(matches!(err, SkqError::Internal(_)), "{site}: {err}");
