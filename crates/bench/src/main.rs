@@ -6,6 +6,12 @@
 //!   run the pinned scenarios (see `skq_bench::trajectory`) and write a
 //!   schema-versioned `BENCH_*.json`. Default capture is deterministic
 //!   (byte-stable across runs); `--timed` adds wall-clock fields.
+//! * `save-suite SNAP [--smoke|--full]` — write the default bench
+//!   suite's `skq-store` snapshot; `bench --load-suite SNAP` then
+//!   answers the pinned queries from the snapshot (recording
+//!   `load_micros`) instead of rebuilding, and `diff --threshold 0`
+//!   against the checked-in baseline proves the loaded suite's query
+//!   counters are identical.
 //! * `diff BASELINE CANDIDATE [--threshold PCT]` — compare two BENCH
 //!   files; exits 3 when any metric regressed past the threshold
 //!   (default 10%).
@@ -60,7 +66,8 @@ fn read_alloc_counters() -> (u64, u64) {
 }
 
 const USAGE: &str = "usage: skq-bench <command>
-  bench [--out PATH] [--timed] [--smoke|--full] [--trace PATH]
+  bench [--out PATH] [--timed] [--smoke|--full] [--trace PATH] [--load-suite SNAP]
+  save-suite SNAP [--smoke|--full]
   diff BASELINE CANDIDATE [--threshold PCT]
   validate FILE";
 
@@ -72,6 +79,7 @@ fn main() -> ExitCode {
         // Accept the `bench diff a b` spelling alongside plain `diff`.
         Some("bench") if rest.first().map(String::as_str) == Some("diff") => cmd_diff(&rest[1..]),
         Some("bench") => cmd_bench(rest),
+        Some("save-suite") => cmd_save_suite(rest),
         Some("diff") => cmd_diff(rest),
         Some("validate") => cmd_validate(rest),
         _ => {
@@ -126,11 +134,15 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     }
     let out_path = flag_value(args, "--out");
     let trace_path = flag_value(args, "--trace");
+    let snapshot: Option<Vec<u8>> = match flag_value(args, "--load-suite") {
+        Some(path) => Some(std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?),
+        None => None,
+    };
 
     if trace_path.is_some() {
         skq_obs::trace::enable();
     }
-    let doc = trajectory::run(opts, &read_alloc_counters);
+    let doc = trajectory::run_with_snapshot(opts, &read_alloc_counters, snapshot.as_deref());
     if let Some(path) = trace_path {
         skq_obs::trace::disable();
         write_file(path, &skq_obs::trace::export_chrome())?;
@@ -156,6 +168,43 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         }
         None => print!("{text}"),
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `save-suite SNAP`: writes the default bench suite's snapshot so a
+/// fresh process (`bench --load-suite SNAP`) can answer the pinned
+/// queries without rebuilding — the CI store-smoke flow.
+fn cmd_save_suite(args: &[String]) -> Result<ExitCode, String> {
+    let [path] = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .collect::<Vec<_>>()[..]
+    else {
+        eprintln!("{USAGE}");
+        return Ok(ExitCode::from(1));
+    };
+    let scale = if args.iter().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Default
+    };
+    let bytes = trajectory::suite_snapshot(scale);
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(path, &bytes).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("wrote {path} ({} bytes, {} scale)", bytes.len(), {
+        match scale {
+            Scale::Smoke => "smoke",
+            Scale::Default => "default",
+            Scale::Full => "full",
+        }
+    });
     Ok(ExitCode::SUCCESS)
 }
 

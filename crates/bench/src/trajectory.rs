@@ -27,12 +27,14 @@ use skq_core::lc::LcKwIndex;
 use skq_core::nn_l2::L2NnIndex;
 use skq_core::nn_linf::LinfNnIndex;
 use skq_core::orp::OrpKwIndex;
+use skq_core::persist::Persist;
 use skq_core::planner::{Plan, PlannedOrpKw};
 use skq_core::rr::RrKwIndex;
 use skq_core::sink::CountSink;
 use skq_core::sp::SpKwIndex;
 use skq_core::srp::SrpKwIndex;
 use skq_core::stats::QueryStats;
+use skq_core::suite::OrpKwSuite;
 use skq_geom::Rect;
 use skq_invidx::Keyword;
 use skq_workload::queries::QueryGen;
@@ -119,6 +121,9 @@ impl Default for BenchOptions {
 }
 
 const BUILD_K: usize = 2;
+/// `k_max` of the default bench suite (the `store` problem and
+/// `skq-bench save-suite`).
+const SUITE_K_MAX: usize = 3;
 const SEED_DATA: u64 = 62023; // the paper's PODS edition, pinned
 const SEED_QUERIES: u64 = 0x5eed_0001;
 
@@ -416,6 +421,60 @@ impl NnEngine {
     }
 }
 
+/// The persistence-tier problem: queries answered by an
+/// [`OrpKwSuite`] that either was just built (`mode: "built"`, the
+/// checked-in baseline) or came off a `skq-store` snapshot
+/// (`mode: "loaded"`, the CI store-smoke run). The snapshot format is
+/// byte-stable, so `snapshot_bytes` and every query counter must be
+/// identical between the two modes — `skq-bench diff --threshold 0`
+/// against `BENCH_0.json` proves a loaded suite answers exactly like
+/// the in-memory build. `load_micros` (wall clock) is recorded only in
+/// loaded runs, keeping the baseline deterministic.
+fn store_problem(ctx: &Ctx, d: &Dataset, snapshot: Option<&[u8]>) -> Json {
+    let queries = rect_queries(d, ctx.opts.scale.queries());
+    let mut out = Json::obj();
+    problem_header(&mut out, "city", d.len(), d.input_size(), SUITE_K_MAX);
+    let suite = match snapshot {
+        Some(bytes) => {
+            let t = Instant::now();
+            let suite = OrpKwSuite::try_load(bytes).expect("loading the suite snapshot");
+            out.set("load_micros", Json::Num(t.elapsed().as_micros() as f64));
+            out.set("mode", Json::Str("loaded".to_string()));
+            suite
+        }
+        None => {
+            let suite = OrpKwSuite::build(d, SUITE_K_MAX);
+            out.set("mode", Json::Str("built".to_string()));
+            suite
+        }
+    };
+    // Re-encoding the loaded suite must reproduce the built suite's
+    // size exactly (byte-stable format); a drift here fails the CI
+    // zero-threshold diff.
+    let bytes = suite.to_bytes().expect("suite snapshot encoding");
+    out.set("snapshot_bytes", Json::Num(bytes.len() as f64));
+    out.set("space_words", Json::Num(suite.space_words() as f64));
+    let query = ctx.query_record("store", queries.len(), |i| {
+        let (rect, kws) = &queries[i];
+        let mut sink = CountSink::new();
+        let mut stats = QueryStats::new();
+        let _ = suite.query_sink(rect, kws, &mut sink, &mut stats);
+        stats
+    });
+    out.set("query", query);
+    out
+}
+
+/// Snapshot bytes of the default bench suite at `scale` (the
+/// `skq-bench save-suite` payload): the pinned city scenario indexed
+/// for `k ∈ 2..=3`, encoded with `skq_core::persist`.
+pub fn suite_snapshot(scale: Scale) -> Vec<u8> {
+    let d = scenarios::city(scale.n(), SEED_DATA);
+    OrpKwSuite::build(&d, SUITE_K_MAX)
+        .to_bytes()
+        .expect("suite snapshot encoding")
+}
+
 fn ksi_problem(ctx: &Ctx) -> Json {
     let n = ctx.opts.scale.n();
     let inst = shuffled_planted(n, 8, BUILD_K, (n / 100).max(4), 6, SEED_DATA);
@@ -499,6 +558,14 @@ fn batch_problem(ctx: &Ctx, d: &Dataset, index: &OrpKwIndex) -> Json {
 ///
 /// `probe` reads cumulative allocation counters; see [`AllocProbe`].
 pub fn run(opts: BenchOptions, probe: AllocProbe) -> Json {
+    run_with_snapshot(opts, probe, None)
+}
+
+/// Like [`run`], but when `snapshot` is given the `store` problem
+/// loads its suite from those bytes (recording `load_micros`) instead
+/// of building it — the fresh-process half of the CI store-smoke
+/// check.
+pub fn run_with_snapshot(opts: BenchOptions, probe: AllocProbe, snapshot: Option<&[u8]>) -> Json {
     let ctx = Ctx { opts, probe };
     // Warm up lazily-initialized global state (metric series, the query
     // log, keyword tables) on a tiny instance of every problem so those
@@ -529,6 +596,7 @@ pub fn run(opts: BenchOptions, probe: AllocProbe) -> Json {
         let _ = planner_problem(&warm_ctx, &wd);
         let wi = OrpKwIndex::build(&wd, BUILD_K);
         let _ = batch_problem(&warm_ctx, &wd, &wi);
+        let _ = store_problem(&warm_ctx, &wd, None);
     }
 
     let n = opts.scale.n();
@@ -556,6 +624,7 @@ pub fn run(opts: BenchOptions, probe: AllocProbe) -> Json {
     problems.set("planner", planner_problem(&ctx, &d));
     let orp_index = OrpKwIndex::build(&d, BUILD_K);
     problems.set("batch", batch_problem(&ctx, &d, &orp_index));
+    problems.set("store", store_problem(&ctx, &d, snapshot));
 
     let mut doc = Json::obj();
     doc.set("format", Json::Str(FORMAT.to_string()));
@@ -605,12 +674,20 @@ pub fn validate(doc: &Json) -> Result<(), String> {
             }
             continue;
         }
-        let build = p
-            .get("build")
-            .ok_or_else(|| format!("problem {name:?} lacks build"))?;
-        for key in ["space_words", "bytes_per_point", "alloc_bytes", "allocs"] {
-            if build.get(key).and_then(Json::as_f64).is_none() {
-                return Err(format!("problem {name:?} build lacks {key:?}"));
+        if name == "store" {
+            // The store problem has no build record — its suite either
+            // came off a snapshot or the build is covered by `orp`.
+            if p.get("snapshot_bytes").and_then(Json::as_f64).is_none() {
+                return Err("problem \"store\" lacks snapshot_bytes".to_string());
+            }
+        } else {
+            let build = p
+                .get("build")
+                .ok_or_else(|| format!("problem {name:?} lacks build"))?;
+            for key in ["space_words", "bytes_per_point", "alloc_bytes", "allocs"] {
+                if build.get(key).and_then(Json::as_f64).is_none() {
+                    return Err(format!("problem {name:?} build lacks {key:?}"));
+                }
             }
         }
         let query = p

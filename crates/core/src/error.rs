@@ -46,6 +46,27 @@ pub enum SkqError {
         /// Queue depth observed when the request was rejected.
         queue_depth: usize,
     },
+    /// A persistence-tier failure outside the snapshot bytes
+    /// themselves: I/O, a missing snapshot name, or an index variant
+    /// the paged format does not (yet) encode.
+    Store {
+        /// The backend or operation that failed (`mem`, `file`,
+        /// `save`, …).
+        backend: String,
+        /// What went wrong, in one line.
+        message: String,
+    },
+    /// A snapshot failed validation while loading: wrong magic, a
+    /// future schema version, a checksum mismatch, truncation, or a
+    /// decoded structure that violates an index invariant. Loading
+    /// never panics on bad bytes — it returns this.
+    Corrupted {
+        /// The snapshot section being decoded when the damage was
+        /// detected (`header`, `page`, `dataset`, `postings`, …).
+        section: String,
+        /// What the validator saw, in one line.
+        detail: String,
+    },
     /// An internal invariant violation or an injected fail point.
     Internal(String),
 }
@@ -62,6 +83,8 @@ impl SkqError {
             SkqError::Cancelled => "cancelled",
             SkqError::ShardPanicked { .. } => "shard_panicked",
             SkqError::Overloaded { .. } => "overloaded",
+            SkqError::Store { .. } => "store",
+            SkqError::Corrupted { .. } => "corrupted",
             SkqError::Internal(_) => "internal",
         }
     }
@@ -88,6 +111,12 @@ impl fmt::Display for SkqError {
                     f,
                     "server overloaded: job queue full ({queue_depth} pending)"
                 )
+            }
+            SkqError::Store { backend, message } => {
+                write!(f, "store error ({backend}): {message}")
+            }
+            SkqError::Corrupted { section, detail } => {
+                write!(f, "snapshot corrupted in section `{section}`: {detail}")
             }
             SkqError::Internal(msg) => write!(f, "internal error: {msg}"),
         }

@@ -34,6 +34,7 @@ pub const SITES: &[&str] = &[
     "batch::shard",
     "serve::request",
     "serve::worker",
+    "store::read_page",
 ];
 
 /// What an armed fail point does when hit.

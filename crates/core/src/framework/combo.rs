@@ -78,6 +78,33 @@ impl ComboTable {
     pub fn space_words(&self) -> usize {
         self.bits.len() + 2
     }
+
+    /// Decomposes the table into `(l, k, bit words)` for the snapshot
+    /// encoder.
+    pub(crate) fn parts(&self) -> (usize, usize, &[u64]) {
+        (self.l, self.k, &self.bits)
+    }
+
+    /// Reassembles a table from decoded parts, re-validating every
+    /// precondition [`ComboTable::new`] asserts — the snapshot-load
+    /// counterpart of `new`, which must not panic on bad bytes.
+    pub(crate) fn from_parts(l: usize, k: usize, bits: Vec<u64>) -> Result<Self, String> {
+        if k < 1 || l < k {
+            return Err(format!("combo table needs 1 <= k <= l, got l={l} k={k}"));
+        }
+        let cells = (l as u128)
+            .checked_pow(k as u32)
+            .filter(|&c| c <= 1 << 40)
+            .ok_or_else(|| format!("combo table of l={l} k={k} exceeds the cell budget"))?;
+        let words = (cells as usize).div_ceil(64);
+        if bits.len() != words {
+            return Err(format!(
+                "combo table has {} bit words, expected {words}",
+                bits.len()
+            ));
+        }
+        Ok(Self { l, k, bits })
+    }
 }
 
 /// Calls `f` with every strictly increasing `k`-subset of `ids`

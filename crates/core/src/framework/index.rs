@@ -2,16 +2,18 @@
 
 use std::ops::ControlFlow;
 
-use skq_geom::Region;
+use skq_geom::{Rect, Region};
 use skq_invidx::{Document, Keyword};
 
 use crate::error::SkqError;
 use crate::failpoints;
 use crate::fastmap::FxHashMap;
+use crate::persist::{self, Persist, SCHEMA_VERSION};
 use crate::sink::{LimitSink, ResultSink};
 use crate::stats::QueryStats;
 
 use super::combo::{for_each_k_subset, ComboTable};
+use super::kd::KdPartitioner;
 use super::partitioner::{Partitioner, SplitOutcome};
 
 /// Build-time knobs.
@@ -656,6 +658,292 @@ impl<P: Partitioner> TransformedIndex<P> {
         }
         Ok(())
     }
+}
+
+impl Persist for TransformedIndex<KdPartitioner> {
+    fn to_pages(&self, w: &mut persist::PageWriter) -> Result<(), SkqError> {
+        let points = self.partitioner.points();
+        let dim = self.partitioner.dim();
+        let n = points.len();
+        let mut head = Vec::new();
+        persist::put_uv(&mut head, self.k as u64);
+        persist::put_uv(&mut head, self.config.leaf_weight);
+        persist::put_uv(&mut head, self.total_weight);
+        persist::put_uv(&mut head, n as u64);
+        persist::put_uv(&mut head, dim as u64);
+        persist::put_uv(&mut head, self.nodes.len() as u64);
+        w.page(persist::kind::TREE_HEAD, SCHEMA_VERSION, head);
+        persist::put_point_pages(w, persist::kind::TREE_POINTS, points, dim);
+        let mut weights = Vec::with_capacity(n);
+        for &wt in self.partitioner.weights() {
+            persist::put_uv(&mut weights, wt);
+        }
+        w.page(persist::kind::TREE_WEIGHTS, SCHEMA_VERSION, weights);
+        persist::put_doc_pages(w, persist::kind::TREE_DOCS, &self.docs);
+        for chunk in self.nodes.chunks(NODES_PER_PAGE) {
+            let mut buf = Vec::new();
+            for node in chunk {
+                encode_node(&mut buf, node, dim);
+            }
+            w.page(persist::kind::TREE_NODES, SCHEMA_VERSION, buf);
+        }
+        Ok(())
+    }
+
+    fn from_pages(r: &mut persist::PageReader<'_>) -> Result<Self, SkqError> {
+        let section = "framework";
+        let fail = |detail: String| SkqError::Corrupted {
+            section: section.into(),
+            detail,
+        };
+        let mut head = r.page(persist::kind::TREE_HEAD, SCHEMA_VERSION, section)?;
+        let k = head.usizev()?;
+        let leaf_weight = head.uv()?;
+        let total_weight = head.uv()?;
+        let n = head.usizev()?;
+        let dim = head.usizev()?;
+        let node_count = head.usizev()?;
+        head.end()?;
+        if !(2..=16).contains(&k) {
+            return Err(fail(format!("k = {k} outside the supported 2..=16")));
+        }
+        if n == 0 {
+            return Err(fail("tree indexes zero objects".into()));
+        }
+        if node_count == 0 {
+            return Err(fail("tree has zero nodes".into()));
+        }
+        let points = persist::read_point_pages(r, persist::kind::TREE_POINTS, section, n, dim)?;
+        for (i, p) in points.iter().enumerate() {
+            for d in 0..dim {
+                if !p.get(d).is_finite() {
+                    return Err(fail(format!("point {i} has a non-finite coordinate")));
+                }
+            }
+        }
+        let mut wdec = r.page(persist::kind::TREE_WEIGHTS, SCHEMA_VERSION, section)?;
+        let mut weights = Vec::with_capacity(n);
+        for i in 0..n {
+            let wt = wdec.uv()?;
+            if wt == 0 {
+                return Err(fail(format!("object {i} has zero weight")));
+            }
+            weights.push(wt);
+        }
+        wdec.end()?;
+        let docs = persist::read_doc_pages(r, persist::kind::TREE_DOCS, section, n)?;
+        let mut nodes = Vec::with_capacity(node_count.min(1 << 20));
+        let mut remaining = node_count;
+        while remaining > 0 {
+            let mut d = r.page(persist::kind::TREE_NODES, SCHEMA_VERSION, section)?;
+            let in_page = remaining.min(NODES_PER_PAGE);
+            for _ in 0..in_page {
+                let id = nodes.len();
+                nodes.push(decode_node(&mut d, id, dim, k, n, node_count)?);
+            }
+            d.end()?;
+            remaining -= in_page;
+        }
+        // `new` cannot panic here: points are non-empty with consistent
+        // dimensionality by decoding, and every weight is positive.
+        let partitioner = KdPartitioner::new(points, weights);
+        Ok(Self {
+            partitioner,
+            docs,
+            nodes,
+            k,
+            config: FrameworkConfig { leaf_weight },
+            total_weight,
+        })
+    }
+}
+
+/// Nodes per `TREE_NODES` page.
+const NODES_PER_PAGE: usize = 256;
+
+/// Appends one arena node to a `TREE_NODES` payload. The `large` map
+/// is stored as its ascending keyword list alone: local ids are
+/// assigned by ascending-keyword enumeration at build time, so the
+/// position in the list *is* the id.
+fn encode_node(buf: &mut Vec<u8>, node: &Node<Rect>, dim: usize) {
+    for i in 0..dim {
+        persist::put_f64(buf, node.cell.lo(i));
+    }
+    for i in 0..dim {
+        persist::put_f64(buf, node.cell.hi(i));
+    }
+    persist::put_uv(buf, u64::from(node.level));
+    persist::put_uv(buf, node.weight);
+    persist::put_uv(buf, node.children.len() as u64);
+    for &c in &node.children {
+        persist::put_uv(buf, u64::from(c));
+    }
+    persist::put_uv(buf, node.pivots.len() as u64);
+    for &p in &node.pivots {
+        persist::put_uv(buf, u64::from(p));
+    }
+    let mut large: Vec<(Keyword, u32)> = node.large.iter().map(|(&w, &id)| (w, id)).collect();
+    large.sort_unstable();
+    persist::put_uv(buf, large.len() as u64);
+    for &(w, _) in &large {
+        persist::put_uv(buf, u64::from(w));
+    }
+    persist::put_uv(buf, node.combos.len() as u64);
+    for table in &node.combos {
+        let (l, k, bits) = table.parts();
+        persist::put_uv(buf, l as u64);
+        persist::put_uv(buf, k as u64);
+        for &word in bits {
+            buf.extend_from_slice(&word.to_le_bytes());
+        }
+    }
+    let mut mat: Vec<(Keyword, &Vec<u32>)> =
+        node.materialized.iter().map(|(&w, v)| (w, v)).collect();
+    mat.sort_unstable_by_key(|&(w, _)| w);
+    persist::put_uv(buf, mat.len() as u64);
+    for (w, list) in mat {
+        persist::put_uv(buf, u64::from(w));
+        persist::put_uv(buf, list.len() as u64);
+        for &e in list {
+            persist::put_uv(buf, u64::from(e));
+        }
+    }
+}
+
+/// Decodes one arena node, validating every field against the tree's
+/// scalars so a checksum-passing but inconsistent file cannot put the
+/// query path in a panicking state: cells are NaN-free with ordered
+/// bounds, child ids point strictly forward (the arena is built
+/// parent-before-child, which also rules out cycles), object ids are
+/// in range, combo tables match the large-keyword count and `k`.
+fn decode_node(
+    d: &mut persist::Dec<'_>,
+    id: usize,
+    dim: usize,
+    k: usize,
+    n: usize,
+    node_count: usize,
+) -> Result<Node<Rect>, SkqError> {
+    let fail = |detail: String| SkqError::Corrupted {
+        section: "framework".into(),
+        detail,
+    };
+    let mut lo = [0.0f64; skq_geom::MAX_DIM];
+    let mut hi = [0.0f64; skq_geom::MAX_DIM];
+    for c in lo.iter_mut().take(dim) {
+        *c = d.f64()?;
+    }
+    for c in hi.iter_mut().take(dim) {
+        *c = d.f64()?;
+    }
+    for i in 0..dim {
+        if lo[i].is_nan() || hi[i].is_nan() || lo[i] > hi[i] {
+            return Err(fail(format!("node {id}: malformed cell bounds on dim {i}")));
+        }
+    }
+    let cell = Rect::new(&lo[..dim], &hi[..dim]);
+    let level = d.u32v()?;
+    let weight = d.uv()?;
+    let num_children = d.len(1)?;
+    let mut children = Vec::with_capacity(num_children);
+    for _ in 0..num_children {
+        let c = d.u32v()?;
+        if c as usize >= node_count || c as usize <= id {
+            return Err(fail(format!(
+                "node {id}: child id {c} not strictly forward"
+            )));
+        }
+        children.push(c);
+    }
+    let num_pivots = d.len(1)?;
+    let mut pivots = Vec::with_capacity(num_pivots);
+    for _ in 0..num_pivots {
+        let p = d.u32v()?;
+        if p as usize >= n {
+            return Err(fail(format!("node {id}: pivot {p} out of range")));
+        }
+        pivots.push(p);
+    }
+    let num_large = d.len(1)?;
+    let mut large = FxHashMap::default();
+    let mut prev: Option<Keyword> = None;
+    for lid in 0..num_large {
+        let w = d.u32v()?;
+        if prev.is_some_and(|p| p >= w) {
+            return Err(fail(format!(
+                "node {id}: large keywords out of order at {w}"
+            )));
+        }
+        prev = Some(w);
+        large.insert(w, lid as u32);
+    }
+    let num_combos = d.len(1)?;
+    if num_combos != 0 && num_combos != children.len() {
+        return Err(fail(format!(
+            "node {id}: {num_combos} combo tables for {} children",
+            children.len()
+        )));
+    }
+    let mut combos = Vec::with_capacity(num_combos);
+    for _ in 0..num_combos {
+        let l = d.usizev()?;
+        let tk = d.usizev()?;
+        if l != num_large || tk != k {
+            return Err(fail(format!(
+                "node {id}: combo table over l={l} k={tk}, node has L={num_large} k={k}"
+            )));
+        }
+        // `tk == k` is in 2..=16 here, so the cell count fits u128.
+        let cells = (l as u128)
+            .checked_pow(tk as u32)
+            .filter(|&c| c <= 1 << 40)
+            .ok_or_else(|| fail(format!("node {id}: combo table size overflows")))?;
+        let words = (cells as usize).div_ceil(64);
+        if d.remaining() < words * 8 {
+            return Err(fail(format!("node {id}: combo table truncated")));
+        }
+        let mut bits = Vec::with_capacity(words);
+        for _ in 0..words {
+            bits.push(d.u64_raw()?);
+        }
+        let table =
+            ComboTable::from_parts(l, tk, bits).map_err(|e| fail(format!("node {id}: {e}")))?;
+        combos.push(table);
+    }
+    let num_mat = d.len(1)?;
+    let mut materialized = FxHashMap::default();
+    let mut prev_w: Option<Keyword> = None;
+    for _ in 0..num_mat {
+        let w = d.u32v()?;
+        if prev_w.is_some_and(|p| p >= w) {
+            return Err(fail(format!(
+                "node {id}: materialized keywords out of order at {w}"
+            )));
+        }
+        prev_w = Some(w);
+        let len = d.len(1)?;
+        let mut list = Vec::with_capacity(len);
+        for _ in 0..len {
+            let e = d.u32v()?;
+            if e as usize >= n {
+                return Err(fail(format!(
+                    "node {id}: materialized id {e} out of range for keyword {w}"
+                )));
+            }
+            list.push(e);
+        }
+        materialized.insert(w, list);
+    }
+    Ok(Node {
+        cell,
+        level,
+        weight,
+        children,
+        pivots,
+        large,
+        combos,
+        materialized,
+    })
 }
 
 #[cfg(test)]

@@ -55,6 +55,11 @@ impl KdPartitioner {
     pub fn dim(&self) -> usize {
         self.dim
     }
+
+    /// The per-object weights (exposed for the snapshot encoder).
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
 }
 
 impl Partitioner for KdPartitioner {

@@ -41,6 +41,9 @@
 //!   into the process-wide `skq-obs` metrics registry and query log.
 //! * [`concurrency`] — shared thread-count clamping used by [`batch`]
 //!   and the `skq-serve` worker pool.
+//! * [`persist`] — the paged snapshot codec behind the `skq-store`
+//!   persistence tier: the [`persist::Persist`] trait plus the
+//!   page-walk reader/writer with checksums and schema versioning.
 //! * [`error`] / [`guard`] / [`failpoints`] — the robustness layer
 //!   (DESIGN.md §11): typed errors for the fallible
 //!   `try_build`/`try_query_into` surfaces, deadline/cancellation/
@@ -97,6 +100,7 @@ pub mod naive;
 pub mod nn_l2;
 pub mod nn_linf;
 pub mod orp;
+pub mod persist;
 #[warn(clippy::disallowed_methods, clippy::disallowed_macros)]
 pub mod planner;
 pub mod rr;

@@ -19,6 +19,7 @@ use crate::error::{validate, SkqError};
 use crate::failpoints;
 use crate::lc::LcKwIndex;
 use crate::orp::OrpKwIndex;
+use crate::persist::{self, Persist, SCHEMA_VERSION};
 use crate::sink::{CountSink, LimitSink, ResultSink};
 use crate::stats::QueryStats;
 use crate::telemetry;
@@ -405,6 +406,89 @@ impl LinfNnIndex {
             RectEngine::Orp(i) => i.validate(),
             RectEngine::Lc(i) => i.validate(),
         }
+    }
+}
+
+/// Engine tag written in the `NN_HEAD` page: the ORP-KW threshold
+/// engine. The linear-space LC-KW engine has no snapshot encoding;
+/// saving it returns [`SkqError::Store`].
+const NN_ENGINE_ORP: u64 = 0;
+
+impl Persist for LinfNnIndex {
+    fn to_pages(&self, w: &mut persist::PageWriter) -> Result<(), SkqError> {
+        match &self.engine {
+            RectEngine::Orp(orp) => {
+                let mut head = Vec::new();
+                persist::put_uv(&mut head, NN_ENGINE_ORP);
+                persist::put_uv(&mut head, self.dim as u64);
+                persist::put_uv(&mut head, self.points.len() as u64);
+                w.page(persist::kind::NN_HEAD, SCHEMA_VERSION, head);
+                // The sorted candidate-radius columns are derived data:
+                // the loader re-sorts them from the points, so only the
+                // points travel.
+                persist::put_point_pages(w, persist::kind::NN_POINTS, &self.points, self.dim);
+                orp.to_pages(w)
+            }
+            RectEngine::Lc(_) => Err(SkqError::Store {
+                backend: "save".into(),
+                message: "the linear-space LC-KW engine has no snapshot encoding; rebuild it \
+                          from the dataset"
+                    .into(),
+            }),
+        }
+    }
+
+    fn from_pages(r: &mut persist::PageReader<'_>) -> Result<Self, SkqError> {
+        let fail = |detail: String| SkqError::Corrupted {
+            section: "nn_linf".into(),
+            detail,
+        };
+        let mut head = r.page(persist::kind::NN_HEAD, SCHEMA_VERSION, "nn_linf")?;
+        let engine = head.uv()?;
+        let dim = head.usizev()?;
+        let n = head.usizev()?;
+        head.end()?;
+        if engine != NN_ENGINE_ORP {
+            return Err(fail(format!("unknown nn_linf engine tag {engine}")));
+        }
+        if n == 0 {
+            return Err(fail("index stores zero points".into()));
+        }
+        let points = persist::read_point_pages(r, persist::kind::NN_POINTS, "nn_linf", n, dim)?;
+        for (i, p) in points.iter().enumerate() {
+            for d in 0..dim {
+                if !p.get(d).is_finite() {
+                    return Err(fail(format!("point {i} has a non-finite coordinate")));
+                }
+            }
+        }
+        let orp = OrpKwIndex::from_pages(r)?;
+        if orp.dim() != dim {
+            return Err(fail(format!(
+                "head declares {dim}D, inner index is {}D",
+                orp.dim()
+            )));
+        }
+        if orp.kd_num_objects() != Some(n) {
+            return Err(fail(format!(
+                "head declares {n} points, inner index holds {:?}",
+                orp.kd_num_objects()
+            )));
+        }
+        // Rebuild the per-dimension candidate-radius columns exactly as
+        // `build_inner` does — deterministic total-order sorts.
+        let mut sorted_coords = Vec::with_capacity(dim);
+        for d in 0..dim {
+            let mut col: Vec<f64> = points.iter().map(|p| p.get(d)).collect();
+            col.sort_by(f64::total_cmp);
+            sorted_coords.push(col);
+        }
+        Ok(Self {
+            engine: RectEngine::Orp(orp),
+            sorted_coords,
+            points,
+            dim,
+        })
     }
 }
 

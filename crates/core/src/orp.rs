@@ -18,6 +18,7 @@ use crate::dimred::DimRedTree;
 use crate::error::{validate, SkqError};
 use crate::failpoints;
 use crate::framework::{FrameworkConfig, KdPartitioner, TransformedIndex};
+use crate::persist::{self, Persist, SCHEMA_VERSION};
 use crate::sink::{CountSink, LimitSink, ResultSink};
 use crate::stats::QueryStats;
 use crate::telemetry;
@@ -280,6 +281,83 @@ impl OrpKwIndex {
             Inner::Kd { tree, .. } => Some(tree.node_summaries().collect()),
             Inner::DimRed(_) => None,
         }
+    }
+
+    /// Number of indexed objects for the kd variant, `None` for the
+    /// dimension-reduction variant. Used by the snapshot loaders of the
+    /// wrapping indexes to cross-check decoded sections against each
+    /// other.
+    pub(crate) fn kd_num_objects(&self) -> Option<usize> {
+        match &self.inner {
+            Inner::Kd { rank, .. } => Some(rank.len()),
+            Inner::DimRed(_) => None,
+        }
+    }
+}
+
+/// Engine tag written in the `ORP_HEAD` page: the kd/rank-space
+/// engine. The dimension-reduction engine (`d ≥ 3`) has no snapshot
+/// encoding; saving it returns [`SkqError::Store`].
+const ORP_ENGINE_KD: u64 = 0;
+
+impl Persist for OrpKwIndex {
+    fn to_pages(&self, w: &mut persist::PageWriter) -> Result<(), SkqError> {
+        match &self.inner {
+            Inner::Kd { rank, tree } => {
+                let mut head = Vec::new();
+                persist::put_uv(&mut head, ORP_ENGINE_KD);
+                persist::put_uv(&mut head, self.dim as u64);
+                persist::put_uv(&mut head, self.k as u64);
+                w.page(persist::kind::ORP_HEAD, SCHEMA_VERSION, head);
+                rank.to_pages(w)?;
+                tree.to_pages(w)
+            }
+            Inner::DimRed(_) => Err(SkqError::Store {
+                backend: "save".into(),
+                message: "the dimension-reduction engine (d >= 3) has no snapshot encoding; \
+                          rebuild it from the dataset"
+                    .into(),
+            }),
+        }
+    }
+
+    fn from_pages(r: &mut persist::PageReader<'_>) -> Result<Self, SkqError> {
+        let fail = |detail: String| SkqError::Corrupted {
+            section: "orp".into(),
+            detail,
+        };
+        let mut head = r.page(persist::kind::ORP_HEAD, SCHEMA_VERSION, "orp")?;
+        let engine = head.uv()?;
+        let dim = head.usizev()?;
+        let k = head.usizev()?;
+        head.end()?;
+        if engine != ORP_ENGINE_KD {
+            return Err(fail(format!("unknown orp engine tag {engine}")));
+        }
+        let rank = RankSpace::from_pages(r)?;
+        let tree = TransformedIndex::<KdPartitioner>::from_pages(r)?;
+        if rank.dim() != dim || tree.partitioner().dim() != dim {
+            return Err(fail(format!(
+                "dimensionality mismatch: head {dim}, rank {}, tree {}",
+                rank.dim(),
+                tree.partitioner().dim()
+            )));
+        }
+        if tree.k() != k {
+            return Err(fail(format!("head k = {k}, tree k = {}", tree.k())));
+        }
+        if rank.len() != tree.partitioner().points().len() {
+            return Err(fail(format!(
+                "rank space covers {} objects, tree {}",
+                rank.len(),
+                tree.partitioner().points().len()
+            )));
+        }
+        Ok(Self {
+            inner: Inner::Kd { rank, tree },
+            dim,
+            k,
+        })
     }
 }
 

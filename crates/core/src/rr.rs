@@ -20,6 +20,7 @@ use crate::error::{validate, SkqError};
 use crate::failpoints;
 use crate::lc::LcKwIndex;
 use crate::orp::OrpKwIndex;
+use crate::persist::{self, Persist, SCHEMA_VERSION};
 use crate::sink::{DedupSink, LimitSink, ResultSink};
 use crate::stats::QueryStats;
 
@@ -182,6 +183,44 @@ impl RrKwIndex {
             ));
         }
         self.orp.validate()
+    }
+}
+
+impl Persist for RrKwIndex {
+    fn to_pages(&self, w: &mut persist::PageWriter) -> Result<(), SkqError> {
+        let mut head = Vec::new();
+        persist::put_uv(&mut head, self.dim as u64);
+        persist::put_uv(&mut head, self.len as u64);
+        w.page(persist::kind::RR_HEAD, SCHEMA_VERSION, head);
+        self.orp.to_pages(w)
+    }
+
+    fn from_pages(r: &mut persist::PageReader<'_>) -> Result<Self, SkqError> {
+        let fail = |detail: String| SkqError::Corrupted {
+            section: "rr".into(),
+            detail,
+        };
+        let mut head = r.page(persist::kind::RR_HEAD, SCHEMA_VERSION, "rr")?;
+        let dim = head.usizev()?;
+        let len = head.usizev()?;
+        head.end()?;
+        let orp = OrpKwIndex::from_pages(r)?;
+        if orp.dim() != 2 * dim {
+            return Err(fail(format!(
+                "inner index is {}D, expected {} for {dim}D rectangles",
+                orp.dim(),
+                2 * dim
+            )));
+        }
+        // The flattening maps each rectangle to one point, so the inner
+        // object count is the id universe the dedup bitset is sized by.
+        if orp.kd_num_objects() != Some(len) {
+            return Err(fail(format!(
+                "head declares {len} rectangles, inner index holds {:?}",
+                orp.kd_num_objects()
+            )));
+        }
+        Ok(Self { orp, dim, len })
     }
 }
 

@@ -14,6 +14,7 @@ use skq_invidx::Keyword;
 use crate::dataset::Dataset;
 use crate::error::{validate, SkqError};
 use crate::failpoints;
+use crate::persist::{self, Persist, SCHEMA_VERSION};
 use crate::sink::{CountSink, LimitSink, ResultSink};
 use crate::sp::SpKwIndex;
 use crate::stats::QueryStats;
@@ -255,6 +256,33 @@ impl SrpKwIndex {
             }
         }
         self.sp.validate()
+    }
+}
+
+impl Persist for SrpKwIndex {
+    fn to_pages(&self, w: &mut persist::PageWriter) -> Result<(), SkqError> {
+        let mut head = Vec::new();
+        persist::put_uv(&mut head, self.dim as u64);
+        w.page(persist::kind::SRP_HEAD, SCHEMA_VERSION, head);
+        self.sp.to_pages(w)
+    }
+
+    fn from_pages(r: &mut persist::PageReader<'_>) -> Result<Self, SkqError> {
+        let mut head = r.page(persist::kind::SRP_HEAD, SCHEMA_VERSION, "srp")?;
+        let dim = head.usizev()?;
+        head.end()?;
+        let sp = SpKwIndex::from_pages(r)?;
+        if sp.dim() != dim + 1 {
+            return Err(SkqError::Corrupted {
+                section: "srp".into(),
+                detail: format!(
+                    "inner index is {}D, expected {} for {dim}D data",
+                    sp.dim(),
+                    dim + 1
+                ),
+            });
+        }
+        Ok(Self { sp, dim })
     }
 }
 

@@ -19,6 +19,7 @@ use crate::dataset::Dataset;
 use crate::error::{validate, SkqError};
 use crate::guard::{GuardedSink, QueryGuard};
 use crate::orp::OrpKwIndex;
+use crate::persist::{self, Persist, SCHEMA_VERSION};
 use crate::sink::{FilterSink, ResultSink};
 use crate::stats::QueryStats;
 use crate::telemetry;
@@ -91,6 +92,22 @@ impl OrpKwSuite {
     /// The largest `k` with a dedicated index.
     pub fn k_max(&self) -> usize {
         self.k_max
+    }
+
+    /// Dimensionality of the indexed points.
+    pub fn dim(&self) -> usize {
+        self.dataset.dim()
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.dataset.len()
+    }
+
+    /// Whether the suite indexes no objects (never true: datasets are
+    /// non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        self.dataset.len() == 0
     }
 
     /// Reports all objects in `q` containing all of `keywords`
@@ -309,6 +326,97 @@ impl OrpKwSuite {
         }
         self.inv.validate().map_err(|detail| {
             crate::invariants::InvariantViolation::new("invidx::postings", detail)
+        })
+    }
+    /// Decodes a suite from snapshot bytes (DESIGN.md §15) and — under
+    /// the `debug-invariants` feature — deep-validates the result, so a
+    /// checksum-valid but structurally inconsistent snapshot is refused
+    /// rather than served.
+    ///
+    /// This is the load path behind `skq-store` backends and
+    /// `skq-serve`'s `publish_loaded`: a page walk plus cheap
+    /// cross-checks, never a rebuild.
+    ///
+    /// # Errors
+    ///
+    /// [`SkqError::Corrupted`] on any malformed section, and
+    /// [`SkqError::Store`] if the snapshot was produced by an
+    /// incompatible writer.
+    pub fn try_load(bytes: &[u8]) -> Result<Self, SkqError> {
+        let suite = Self::try_from_bytes(bytes)?;
+        #[cfg(feature = "debug-invariants")]
+        suite.validate().map_err(|v| SkqError::Corrupted {
+            section: "validate".to_string(),
+            detail: v.to_string(),
+        })?;
+        Ok(suite)
+    }
+}
+
+impl Persist for OrpKwSuite {
+    fn to_pages(&self, w: &mut persist::PageWriter) -> Result<(), SkqError> {
+        let mut head = Vec::new();
+        persist::put_uv(&mut head, self.k_max as u64);
+        w.page(persist::kind::SUITE_HEAD, SCHEMA_VERSION, head);
+        self.dataset.to_pages(w)?;
+        self.inv.to_pages(w)?;
+        for index in &self.indexes {
+            index.to_pages(w)?;
+        }
+        Ok(())
+    }
+
+    fn from_pages(r: &mut persist::PageReader<'_>) -> Result<Self, SkqError> {
+        let fail = |detail: String| SkqError::Corrupted {
+            section: "suite".to_string(),
+            detail,
+        };
+        let mut head = r.page(persist::kind::SUITE_HEAD, SCHEMA_VERSION, "suite")?;
+        let k_max = head.usizev()?;
+        head.end()?;
+        if !(2..=16).contains(&k_max) {
+            return Err(fail(format!("implausible k_max {k_max}")));
+        }
+        let dataset = Dataset::from_pages(r)?;
+        let inv = InvertedIndex::from_pages(r)?;
+        if inv.num_objects() != dataset.len() {
+            return Err(fail(format!(
+                "inverted index covers {} objects, dataset holds {}",
+                inv.num_objects(),
+                dataset.len()
+            )));
+        }
+        let mut indexes = Vec::with_capacity(k_max - 1);
+        for k in 2..=k_max {
+            let index = OrpKwIndex::from_pages(r)?;
+            if index.k() != k {
+                return Err(fail(format!(
+                    "member {} declares k = {}, expected {k}",
+                    k - 2,
+                    index.k()
+                )));
+            }
+            if index.dim() != dataset.dim() {
+                return Err(fail(format!(
+                    "member k = {k} is {}D, dataset is {}D",
+                    index.dim(),
+                    dataset.dim()
+                )));
+            }
+            if index.kd_num_objects() != Some(dataset.len()) {
+                return Err(fail(format!(
+                    "member k = {k} indexes {:?} objects, dataset holds {}",
+                    index.kd_num_objects(),
+                    dataset.len()
+                )));
+            }
+            indexes.push(index);
+        }
+        Ok(Self {
+            indexes,
+            inv,
+            dataset,
+            k_max,
         })
     }
 }

@@ -80,6 +80,79 @@ impl RankSpace {
         self.ranks[i]
     }
 
+    /// The per-dimension sorted `(coordinate, object index)` columns —
+    /// the complete ground truth of the mapping (ranks are derived),
+    /// exposed for the snapshot encoder.
+    pub fn columns(&self) -> &[Vec<(f64, u32)>] {
+        &self.sorted
+    }
+
+    /// Reassembles a mapping from decoded columns, validating every
+    /// property [`RankSpace::build`] guarantees and re-deriving the
+    /// rank points — the snapshot-load counterpart of `build`.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violation: no columns, empty or
+    /// unequal-length columns, a NaN coordinate, a column not sorted
+    /// lexicographically by `(coordinate, id)`, or a column whose ids
+    /// are not a permutation of `0..len`.
+    pub fn try_from_columns(sorted: Vec<Vec<(f64, u32)>>) -> Result<Self, String> {
+        let dim = sorted.len();
+        if dim == 0 {
+            return Err("rank space needs at least one dimension".into());
+        }
+        if dim > crate::MAX_DIM {
+            return Err(format!(
+                "rank space dimensionality {dim} exceeds MAX_DIM {}",
+                crate::MAX_DIM
+            ));
+        }
+        let n = sorted[0].len();
+        if n == 0 {
+            return Err("rank space needs at least one object".into());
+        }
+        let mut rank_coords = vec![vec![0.0f64; dim]; n];
+        for (d, col) in sorted.iter().enumerate() {
+            if col.len() != n {
+                return Err(format!(
+                    "dimension {d}: column has {} entries, expected {n}",
+                    col.len()
+                ));
+            }
+            let mut seen = vec![false; n];
+            for (rank, &(coord, idx)) in col.iter().enumerate() {
+                if coord.is_nan() {
+                    return Err(format!("dimension {d}: NaN coordinate at rank {rank}"));
+                }
+                let i = idx as usize;
+                if i >= n {
+                    return Err(format!(
+                        "dimension {d}: object index {idx} out of range for {n} objects"
+                    ));
+                }
+                if seen[i] {
+                    return Err(format!("dimension {d}: object index {idx} appears twice"));
+                }
+                seen[i] = true;
+                if rank > 0 {
+                    let (pc, pi) = col[rank - 1];
+                    if !matches!(
+                        pc.total_cmp(&coord).then(pi.cmp(&idx)),
+                        std::cmp::Ordering::Less
+                    ) {
+                        return Err(format!(
+                            "dimension {d}: column not sorted by (coordinate, id) at rank {rank}"
+                        ));
+                    }
+                }
+                rank_coords[i][d] = rank as f64;
+            }
+        }
+        let ranks = rank_coords.iter().map(|c| Point::new(c)).collect();
+        Ok(Self { sorted, ranks, dim })
+    }
+
     /// Converts an original-space query rectangle into rank space.
     ///
     /// Returns `None` when the query provably selects nothing (its

@@ -130,6 +130,45 @@ impl InvertedIndex {
         Ok(())
     }
 
+    /// Iterates `(keyword, postings)` pairs in ascending keyword
+    /// order — the deterministic traversal the snapshot encoder needs
+    /// (hash-map iteration order would not be byte-stable).
+    pub fn entries(&self) -> impl Iterator<Item = (Keyword, &[ObjectId])> {
+        let mut keys: Vec<Keyword> = self.postings.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter().map(|w| (w, self.postings(w)))
+    }
+
+    /// Reassembles an index from decoded postings lists, recomputing
+    /// the input size and running [`InvertedIndex::validate`] — the
+    /// snapshot-load counterpart of [`InvertedIndex::build`].
+    ///
+    /// # Errors
+    ///
+    /// A description of the first structural violation: a duplicate
+    /// keyword, or anything `validate` rejects (empty list, unsorted
+    /// or out-of-range ids, inconsistent totals).
+    pub fn try_from_postings(
+        lists: Vec<(Keyword, Vec<ObjectId>)>,
+        num_objects: usize,
+    ) -> Result<Self, String> {
+        let mut postings: HashMap<Keyword, Vec<ObjectId>> = HashMap::with_capacity(lists.len());
+        let mut input_size = 0usize;
+        for (w, ids) in lists {
+            input_size += ids.len();
+            if postings.insert(w, ids).is_some() {
+                return Err(format!("keyword {w}: duplicate postings list"));
+            }
+        }
+        let index = Self {
+            postings,
+            input_size,
+            num_objects,
+        };
+        index.validate()?;
+        Ok(index)
+    }
+
     /// Whether the intersection is empty, with early exit.
     pub fn intersection_is_empty(&self, keywords: &[Keyword]) -> bool {
         if keywords.is_empty() {

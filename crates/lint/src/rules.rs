@@ -74,6 +74,11 @@ pub const RULES: &[(&str, &str, RuleFn)] = &[
         "every trace-span name (`Span::enter*` literal) appears in DESIGN.md \u{a7}13",
         l12_trace_spans_documented,
     ),
+    (
+        "L13",
+        "every file with a serialized-section impl (`impl Persist for`) references SCHEMA_VERSION",
+        l13_persist_impls_reference_schema_version,
+    ),
 ];
 
 /// Modules on the request path: panics here would take down a serving
@@ -672,6 +677,40 @@ fn l12_trace_spans_documented(ws: &Workspace, out: &mut Vec<Finding>) {
                     check(file, o, name, out);
                 }
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L13
+
+/// A file that implements [`Persist`] owns part of the on-disk layout
+/// (DESIGN.md §15), so an edit to it can silently change the bytes. The
+/// schema constant is the bump site for such changes; requiring every
+/// serializing file to reference `SCHEMA_VERSION` keeps the constant in
+/// view at each place where a layout edit could originate. References
+/// in comments and strings do not count — the token must survive
+/// masking (an import or a real use in the encoding code).
+fn l13_persist_impls_reference_schema_version(ws: &Workspace, out: &mut Vec<Finding>) {
+    for file in &ws.files {
+        let Some(o) = file.masked_offsets("impl Persist for").into_iter().next() else {
+            continue;
+        };
+        if file.is_test_at(o) {
+            continue;
+        }
+        if file.masked_offsets("SCHEMA_VERSION").is_empty() {
+            let name = ident_at(&file.masked, o + "impl Persist for ".len());
+            push(
+                out,
+                "L13",
+                file,
+                o,
+                format!(
+                    "`impl Persist for {name}` serializes a section but the file never \
+                     references SCHEMA_VERSION (the bump site for layout changes, \
+                     DESIGN.md \u{a7}15)"
+                ),
+            );
         }
     }
 }

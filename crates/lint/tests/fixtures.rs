@@ -237,6 +237,26 @@ fn l12_requires_documented_span_names() {
 }
 
 #[test]
+fn l13_persist_impls_must_reference_schema_version() {
+    let bad = "pub struct Thing;\nimpl Persist for Thing {\n    fn to_pages(&self) {}\n}\n";
+    let findings = lint(&[("crates/core/src/thing.rs", bad)]);
+    assert_one(&findings, "L13", "crates/core/src/thing.rs", 2, 1);
+    assert!(findings[0].message.contains("Thing"), "{findings:?}");
+
+    // An import (or any masked-source use) of the constant satisfies
+    // the rule; mentions in comments or strings do not.
+    let good =
+        "use crate::persist::SCHEMA_VERSION;\npub struct Thing;\nimpl Persist for Thing {}\n";
+    assert!(lint(&[("crates/core/src/thing.rs", good)]).is_empty());
+    let comment_only =
+        "// SCHEMA_VERSION is mentioned but never referenced\npub struct T;\nimpl Persist for T {}\n";
+    let findings = lint(&[("crates/core/src/thing.rs", comment_only)]);
+    assert_one(&findings, "L13", "crates/core/src/thing.rs", 3, 1);
+    // Files that do not serialize anything are out of scope.
+    assert!(lint(&[("crates/core/src/plain.rs", "pub fn f() {}\n")]).is_empty());
+}
+
+#[test]
 fn inline_suppression_needs_justification() {
     let justified = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // skq-lint: allow(L01) fixture: reason given\n}\n";
     assert!(lint(&[("crates/core/src/batch.rs", justified)]).is_empty());
@@ -254,7 +274,7 @@ fn inline_suppression_needs_justification() {
 fn every_rule_id_is_covered_by_a_fixture() {
     // Meta-check: the registry and this file must grow together.
     let covered = [
-        "L01", "L02", "L03", "L04", "L05", "L06", "L07", "L08", "L09", "L10", "L11", "L12",
+        "L01", "L02", "L03", "L04", "L05", "L06", "L07", "L08", "L09", "L10", "L11", "L12", "L13",
     ];
     for (id, _, _) in skq_lint::rules::RULES {
         assert!(covered.contains(id), "rule {id} has no fixture test");

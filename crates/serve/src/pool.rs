@@ -253,6 +253,23 @@ impl Server {
         self.shared.snapshots.publish(suite)
     }
 
+    /// Decodes a persisted snapshot (the `skq-store` paged format,
+    /// DESIGN.md §15) and publishes it as the next generation — a warm
+    /// restart: a saved suite rotates in without a rebuild and without
+    /// the server holding both the bytes and the decode result for
+    /// longer than the load itself.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`OrpKwSuite::try_load`] can return —
+    /// [`SkqError::Corrupted`] on malformed bytes, [`SkqError::Store`]
+    /// on an incompatible writer. On error nothing is published; the
+    /// current generation keeps serving.
+    pub fn publish_loaded(&self, bytes: &[u8]) -> Result<u64, SkqError> {
+        let suite = OrpKwSuite::try_load(bytes)?;
+        Ok(self.publish(suite))
+    }
+
     /// The latest fully published snapshot generation.
     pub fn epoch(&self) -> u64 {
         self.shared.snapshots.epoch()
@@ -415,7 +432,10 @@ mod tests {
     fn serves_a_query_and_matches_direct_execution() {
         let dataset = scenarios::city(300, 11);
         let suite = OrpKwSuite::build(&dataset, 2);
-        let expected = suite.query(&Rect::full(2), &[0, 1]);
+        // Replies are sorted (the guarded path sorts before returning);
+        // the direct query emits in traversal order.
+        let mut expected = suite.query(&Rect::full(2), &[0, 1]);
+        expected.sort_unstable();
         let server = Server::start(suite, ServerConfig::default());
         let reply = server
             .query(Request::new(Rect::full(2), vec![0, 1]))

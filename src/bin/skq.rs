@@ -85,7 +85,9 @@ const USAGE: &str = "usage:
   skq stats <data.csv>
   skq rect <data.csv> --lo a,b,… --hi a,b,… --tags t1,t2[,…] [--count-only] [--limit t] [--deadline-ms ms] [--max-results m] [--stats] [--metrics out.prom] [--trace out.json]
   skq ball <data.csv> --center a,b,… --radius r --tags t1,t2[,…] [--count-only] [--limit t] [--deadline-ms ms] [--max-results m] [--stats] [--metrics out.prom] [--trace out.json]
-  skq nn   <data.csv> --at a,b,… --t N --tags t1,t2[,…] [--stats] [--metrics out.prom] [--trace out.json]";
+  skq nn   <data.csv> --at a,b,… --t N --tags t1,t2[,…] [--stats] [--metrics out.prom] [--trace out.json]
+  skq save <data.csv> <snapshot.skq> [--k-max K]
+  skq load <snapshot.skq> [--lo a,b,… --hi a,b,… --tag-ids i,j[,…]]";
 
 fn run(args: &[String]) -> Result<(), CliError> {
     let cmd = args.first().ok_or("missing command")?.as_str();
@@ -285,8 +287,89 @@ fn run(args: &[String]) -> Result<(), CliError> {
             }
             Ok(())
         }
+        "save" => {
+            let data = args.get(1).ok_or("save needs a data file")?;
+            let out = args.get(2).ok_or("save needs a snapshot path")?;
+            let opts = parse_flags(&args[3..])?;
+            let k_max: usize = match opts.get("k-max") {
+                Some(v) => v.parse().map_err(|_| {
+                    CliError::BadArg(format!("--k-max must be an integer, got {v:?}"))
+                })?,
+                None => 3,
+            };
+            let loaded = load(data)?;
+            let suite = skq_core::suite::OrpKwSuite::try_build(&loaded.dataset, k_max)
+                .map_err(|e| CliError::BadArg(e.to_string()))?;
+            let (backend, name) = snapshot_backend(out)?;
+            let written = backend
+                .save(&name, &suite)
+                .map_err(|e| CliError::BadArg(e.to_string()))?;
+            println!(
+                "saved {} objects (k_max = {k_max}, {written} bytes) to {out}",
+                loaded.dataset.len()
+            );
+            Ok(())
+        }
+        "load" => {
+            let snap = args.get(1).ok_or("load needs a snapshot path")?;
+            let opts = parse_flags(&args[2..])?;
+            let (backend, name) = snapshot_backend(snap)?;
+            let started = std::time::Instant::now();
+            let suite: skq_core::suite::OrpKwSuite = backend
+                .load(&name)
+                .map_err(|e| CliError::BadArg(e.to_string()))?;
+            let load_micros = started.elapsed().as_micros();
+            println!(
+                "loaded snapshot {snap}: dim = {}, k_max = {} ({load_micros} µs, no rebuild)",
+                suite.dim(),
+                suite.k_max()
+            );
+            if let Some(ids) = opts.get("tag-ids") {
+                let dim = suite.dim();
+                let lo =
+                    parse_coords_dim(opts.require("lo")?, dim, "lo").map_err(CliError::BadArg)?;
+                let hi =
+                    parse_coords_dim(opts.require("hi")?, dim, "hi").map_err(CliError::BadArg)?;
+                if lo.iter().zip(&hi).any(|(a, b)| a > b) {
+                    return Err(CliError::BadArg(
+                        "--lo must be coordinate-wise at most --hi".to_string(),
+                    ));
+                }
+                let tag_ids: Vec<Keyword> = ids
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse::<Keyword>()
+                            .map_err(|_| CliError::BadArg(format!("bad tag id {t:?}")))
+                    })
+                    .collect::<Result<_, _>>()?;
+                let mut hits = suite.query(&Rect::new(&lo, &hi), &tag_ids);
+                hits.sort_unstable();
+                println!("{} matches: {hits:?}", hits.len());
+            }
+            Ok(())
+        }
         other => Err(format!("unknown command {other}").into()),
     }
+}
+
+/// Splits a `dir/name.skq` path into a [`FileBackend`] over the
+/// directory and the snapshot name the backend expects.
+fn snapshot_backend(path: &str) -> Result<(FileBackend, String), CliError> {
+    let p = std::path::Path::new(path);
+    let name = p
+        .file_name()
+        .and_then(|n| n.to_str())
+        .and_then(|n| n.strip_suffix(".skq"))
+        .ok_or_else(|| {
+            CliError::BadArg(format!("snapshot path {path:?} must end in <name>.skq"))
+        })?;
+    let dir = match p.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let backend = FileBackend::new(dir).map_err(|e| CliError::BadArg(e.to_string()))?;
+    Ok((backend, name.to_string()))
 }
 
 struct Loaded {

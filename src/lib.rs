@@ -53,6 +53,7 @@
 //! | [`workload`] | seeded synthetic data and query generators |
 //! | [`obs`] | observability: metrics registry, span timers, query log, Prometheus exposition |
 //! | [`serve`] | concurrent serving: worker pool, sharded job queue, epoch-based snapshot rotation |
+//! | [`store`] | persistence tier: `IndexBackend` trait, paged snapshot codec, in-memory and file backends |
 //!
 //! See `DESIGN.md` for the architecture and `EXPERIMENTS.md` for the
 //! empirical validation of the paper's Table 1.
@@ -65,6 +66,7 @@ pub use skq_geom as geom;
 pub use skq_invidx as invidx;
 pub use skq_obs as obs;
 pub use skq_serve as serve;
+pub use skq_store as store;
 pub use skq_workload as workload;
 
 /// The most commonly used types, re-exported flat.
@@ -99,6 +101,7 @@ pub mod prelude {
     };
     pub use skq_invidx::{Dictionary, Document, InvertedIndex, Keyword, ObjectId};
     pub use skq_serve::{Pending, Reply, Request, Server, ServerConfig, SnapshotCell};
+    pub use skq_store::{FileBackend, IndexBackend, MemBackend, Persist, SCHEMA_VERSION};
     pub use skq_workload::queries::QueryGen;
     pub use skq_workload::{KeywordModel, SpatialKeywordConfig, SpatialModel};
 }

@@ -113,6 +113,14 @@ fn drive(site: &str, d: &Dataset) -> Result<(), SkqError> {
                 .into_results()
                 .map(|_| ())
         }
+        "store::read_page" => {
+            // The site fires in the page-walk decoder: encode a small
+            // suite, then load it back through the armed reader.
+            use structured_keyword_search::store::Persist;
+            let suite = OrpKwSuite::build(d, 2);
+            let bytes = suite.to_bytes()?;
+            OrpKwSuite::try_load(&bytes).map(|_| ())
+        }
         "serve::request" | "serve::worker" => {
             let server = Server::start(
                 OrpKwSuite::build(d, 2),
