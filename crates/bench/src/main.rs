@@ -135,7 +135,15 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     let out_path = flag_value(args, "--out");
     let trace_path = flag_value(args, "--trace");
     let snapshot: Option<Vec<u8>> = match flag_value(args, "--load-suite") {
-        Some(path) => Some(std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?),
+        Some(path) => {
+            let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+            // Validate the snapshot up front so a corrupt file is a
+            // one-line typed error (exit 2), not a panic deep inside
+            // the trajectory run.
+            skq_core::suite::OrpKwSuite::try_load(&bytes)
+                .map_err(|e| format!("--load-suite {path}: {e}"))?;
+            Some(bytes)
+        }
         None => None,
     };
 

@@ -33,6 +33,15 @@ use crate::telemetry;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ObjectHandle(u64);
 
+impl ObjectHandle {
+    /// The handle's stable numeric id — the value persisted in WAL
+    /// records and snapshots, re-playable via
+    /// [`DynamicOrpKw::try_insert_with_id`].
+    pub fn id(self) -> u64 {
+        self.0
+    }
+}
+
 /// Objects buffered before the first block is formed.
 const BASE_BLOCK: usize = 128;
 
@@ -201,6 +210,15 @@ impl DynamicOrpKw {
                 Err(e)
             }
         }
+    }
+
+    /// Deletes an object by numeric id — the by-id twin of
+    /// [`delete`](Self::delete), used when the caller holds a
+    /// persisted id (WAL replay, crash-recovery rollback) rather than
+    /// a live [`ObjectHandle`]. Returns whether the object was live;
+    /// deleting an unknown or already-dead id is a `false` no-op.
+    pub fn delete_by_id(&mut self, id: u64) -> bool {
+        self.delete(ObjectHandle(id))
     }
 
     /// Deletes an object by handle. Returns whether it was live.
@@ -465,6 +483,43 @@ impl DynamicOrpKw {
         }
     }
 
+    /// The dimensionality this index was created with.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The exact keyword count (`k`) this index answers.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The handle-allocation watermark: the id the next plain
+    /// [`insert`](Self::insert) would receive. Every id below it has
+    /// been allocated (or burned) already.
+    pub fn next_id(&self) -> u64 {
+        self.next_handle
+    }
+
+    /// Whether the object with this id is currently live.
+    pub fn contains(&self, id: u64) -> bool {
+        self.live_set.contains_key(&id)
+    }
+
+    /// Every live object as `(id, point, keywords)`, sorted by id —
+    /// the deterministic export the recovery supervisor builds a
+    /// static suite from.
+    pub fn live_objects(&self) -> Vec<(u64, Point, Vec<Keyword>)> {
+        let mut out: Vec<(u64, Point, Vec<Keyword>)> = self
+            .buffer
+            .iter()
+            .chain(self.blocks.iter().flatten().flat_map(|b| b.source.iter()))
+            .filter(|(_, _, h)| self.live_set.contains_key(&h.0))
+            .map(|(p, kws, h)| (h.0, *p, kws.clone()))
+            .collect();
+        out.sort_by_key(|&(id, _, _)| id);
+        out
+    }
+
     /// Number of static blocks currently alive (the `O(log n)` factor).
     pub fn num_blocks(&self) -> usize {
         self.blocks.iter().flatten().count()
@@ -593,6 +648,237 @@ impl ResultSink for HandleSink<'_> {
     }
     fn is_full(&self) -> bool {
         self.out.len() >= self.limit
+    }
+}
+
+// ------------------------------------------------------------ persist
+
+use crate::persist::{self, Persist, SCHEMA_VERSION};
+
+/// Objects per `DYN_OBJECTS` page.
+const DYN_OBJECTS_PER_PAGE: usize = 4096;
+
+fn dyn_corrupt(detail: impl Into<String>) -> SkqError {
+    SkqError::Corrupted {
+        section: "dynamic".to_string(),
+        detail: detail.into(),
+    }
+}
+
+/// Encodes `entries` (with their live flags) into `DYN_OBJECTS` pages.
+fn put_object_pages(
+    w: &mut persist::PageWriter,
+    entries: &[(Point, Vec<Keyword>, ObjectHandle)],
+    live: &FxHashMap<u64, ()>,
+    dim: usize,
+) {
+    for chunk in entries.chunks(DYN_OBJECTS_PER_PAGE) {
+        let mut buf = Vec::new();
+        for (p, kws, h) in chunk {
+            persist::put_uv(&mut buf, h.0);
+            persist::put_uv(&mut buf, u64::from(live.contains_key(&h.0)));
+            for i in 0..dim {
+                persist::put_f64(&mut buf, p.get(i));
+            }
+            persist::put_uv(&mut buf, kws.len() as u64);
+            for &kw in kws {
+                persist::put_uv(&mut buf, u64::from(kw));
+            }
+        }
+        w.page(persist::kind::DYN_OBJECTS, SCHEMA_VERSION, buf);
+    }
+}
+
+/// One decoded snapshot object: geometry, document, handle, live flag.
+type SnapshotObject = (Point, Vec<Keyword>, ObjectHandle, bool);
+
+/// Decodes `n` objects written by [`put_object_pages`], returning each
+/// with its live flag. Geometry and document contracts are re-checked
+/// exactly as [`DynamicOrpKw::try_insert`] enforces them.
+fn read_object_pages(
+    r: &mut persist::PageReader<'_>,
+    n: usize,
+    dim: usize,
+) -> Result<Vec<SnapshotObject>, SkqError> {
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    let mut coords = [0.0f64; skq_geom::MAX_DIM];
+    let mut remaining = n;
+    while remaining > 0 {
+        let mut d = r.page(persist::kind::DYN_OBJECTS, SCHEMA_VERSION, "dynamic")?;
+        let in_page = remaining.min(DYN_OBJECTS_PER_PAGE);
+        for _ in 0..in_page {
+            let id = d.uv()?;
+            let live = match d.uv()? {
+                0 => false,
+                1 => true,
+                other => return Err(dyn_corrupt(format!("live flag {other} is not 0/1"))),
+            };
+            for c in coords.iter_mut().take(dim) {
+                *c = d.f64()?;
+                if !c.is_finite() {
+                    return Err(dyn_corrupt(format!("non-finite coordinate {c}")));
+                }
+            }
+            let kw_count = d.len(1)?;
+            if kw_count == 0 {
+                return Err(dyn_corrupt(format!("object {id} has an empty document")));
+            }
+            let mut kws = Vec::with_capacity(kw_count);
+            for _ in 0..kw_count {
+                kws.push(d.u32v()?);
+            }
+            out.push((Point::new(&coords[..dim]), kws, ObjectHandle(id), live));
+        }
+        d.end()?;
+        remaining -= in_page;
+    }
+    Ok(out)
+}
+
+/// Snapshot layout (DESIGN.md §15/§16): one `DYN_HEAD` page (`k`,
+/// `dim`, handle watermark, buffer length, slot occupancy with
+/// per-occupied-slot source lengths), `DYN_OBJECTS` pages for the
+/// insertion buffer, then — per occupied slot, ascending — that
+/// block's `DYN_OBJECTS` pages followed by its static
+/// [`OrpKwIndex`] pages. Dead objects persist with a cleared live
+/// flag, so the lazy-deletion state round-trips exactly: a loaded
+/// index resumes with the same blocks, the same tombstones, and the
+/// same rebuild trigger point as the one that was saved.
+impl Persist for DynamicOrpKw {
+    fn to_pages(&self, w: &mut persist::PageWriter) -> Result<(), SkqError> {
+        let mut head = Vec::new();
+        persist::put_uv(&mut head, self.k as u64);
+        persist::put_uv(&mut head, self.dim as u64);
+        persist::put_uv(&mut head, self.next_handle);
+        persist::put_uv(&mut head, self.buffer.len() as u64);
+        persist::put_uv(&mut head, self.blocks.len() as u64);
+        for slot in &self.blocks {
+            match slot {
+                None => persist::put_uv(&mut head, 0),
+                Some(b) => {
+                    persist::put_uv(&mut head, 1);
+                    persist::put_uv(&mut head, b.source.len() as u64);
+                }
+            }
+        }
+        w.page(persist::kind::DYN_HEAD, SCHEMA_VERSION, head);
+        put_object_pages(w, &self.buffer, &self.live_set, self.dim);
+        for block in self.blocks.iter().flatten() {
+            put_object_pages(w, &block.source, &self.live_set, self.dim);
+            block.index.to_pages(w)?;
+        }
+        Ok(())
+    }
+
+    fn from_pages(r: &mut persist::PageReader<'_>) -> Result<Self, SkqError> {
+        let mut head = r.page(persist::kind::DYN_HEAD, SCHEMA_VERSION, "dynamic")?;
+        let k = head.usizev()?;
+        let dim = head.usizev()?;
+        let next_handle = head.uv()?;
+        let buffer_len = head.usizev()?;
+        let num_slots = head.len(1)?;
+        if !(2..=16).contains(&k) {
+            return Err(dyn_corrupt(format!("implausible k {k}")));
+        }
+        if !(1..=skq_geom::MAX_DIM).contains(&dim) {
+            return Err(dyn_corrupt(format!(
+                "dimensionality {dim} outside 1..={}",
+                skq_geom::MAX_DIM
+            )));
+        }
+        if num_slots > 64 {
+            return Err(dyn_corrupt(format!("implausible slot count {num_slots}")));
+        }
+        let mut slot_lens: Vec<Option<usize>> = Vec::with_capacity(num_slots);
+        for slot in 0..num_slots {
+            match head.uv()? {
+                0 => slot_lens.push(None),
+                1 => {
+                    let len = head.usizev()?;
+                    let cap = BASE_BLOCK.checked_shl(slot as u32).unwrap_or(usize::MAX);
+                    if len == 0 || len > cap {
+                        return Err(dyn_corrupt(format!(
+                            "block {slot} declares {len} objects, capacity {cap}"
+                        )));
+                    }
+                    slot_lens.push(Some(len));
+                }
+                other => return Err(dyn_corrupt(format!("slot flag {other} is not 0/1"))),
+            }
+        }
+        head.end()?;
+
+        let mut live_set: FxHashMap<u64, ()> = FxHashMap::default();
+        let mut seen: FxHashMap<u64, ()> = FxHashMap::default();
+        let mut admit =
+            |entries: &[(Point, Vec<Keyword>, ObjectHandle, bool)]| -> Result<(), SkqError> {
+                for &(_, _, h, live) in entries {
+                    if h.0 >= next_handle {
+                        return Err(dyn_corrupt(format!(
+                            "handle {} at or above the watermark {next_handle}",
+                            h.0
+                        )));
+                    }
+                    if seen.insert(h.0, ()).is_some() {
+                        return Err(dyn_corrupt(format!("handle {} stored twice", h.0)));
+                    }
+                    if live {
+                        live_set.insert(h.0, ());
+                    }
+                }
+                Ok(())
+            };
+
+        let buffer_entries = read_object_pages(r, buffer_len, dim)?;
+        admit(&buffer_entries)?;
+        let mut blocks: Vec<Option<Block>> = Vec::with_capacity(num_slots);
+        for (slot, len) in slot_lens.iter().enumerate() {
+            let Some(len) = len else {
+                blocks.push(None);
+                continue;
+            };
+            let entries = read_object_pages(r, *len, dim)?;
+            admit(&entries)?;
+            let index = OrpKwIndex::from_pages(r)?;
+            if index.k() != k {
+                return Err(dyn_corrupt(format!(
+                    "block {slot} index declares k = {}, expected {k}",
+                    index.k()
+                )));
+            }
+            if index.dim() != dim {
+                return Err(dyn_corrupt(format!(
+                    "block {slot} index is {}D, expected {dim}D",
+                    index.dim()
+                )));
+            }
+            if index.kd_num_objects() != Some(*len) {
+                return Err(dyn_corrupt(format!(
+                    "block {slot} index covers {:?} objects, source holds {len}",
+                    index.kd_num_objects()
+                )));
+            }
+            let source: Vec<(Point, Vec<Keyword>, ObjectHandle)> = entries
+                .into_iter()
+                .map(|(p, kws, h, _)| (p, kws, h))
+                .collect();
+            blocks.push(Some(Block {
+                index,
+                handles: source.iter().map(|&(_, _, h)| h).collect(),
+                source,
+            }));
+        }
+        Ok(Self {
+            k,
+            dim,
+            blocks,
+            buffer: buffer_entries
+                .into_iter()
+                .map(|(p, kws, h, _)| (p, kws, h))
+                .collect(),
+            live_set,
+            next_handle,
+        })
     }
 }
 
@@ -834,6 +1120,63 @@ mod tests {
                 + idx.query(&Rect::full(2), &[3, 4]).len(),
             100
         );
+    }
+
+    #[test]
+    fn persist_round_trips_blocks_buffer_and_tombstones() {
+        let mut idx = DynamicOrpKw::new(2, 2);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut handles = Vec::new();
+        for _ in 0..700 {
+            let p = Point::new2(rng.gen_range(0..50) as f64, rng.gen_range(0..50) as f64);
+            handles.push(idx.insert(p, vec![rng.gen_range(0..5), 5]));
+        }
+        // Delete a few (below the rebuild threshold) so dead objects
+        // and the live-set round-trip too.
+        for h in handles.iter().step_by(9).take(40) {
+            idx.delete(*h);
+        }
+        let bytes = idx.to_bytes().unwrap();
+        assert_eq!(bytes, idx.to_bytes().unwrap(), "encoding not deterministic");
+        let loaded = DynamicOrpKw::try_from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.len(), idx.len());
+        assert_eq!(loaded.next_id(), idx.next_id());
+        assert_eq!(loaded.num_blocks(), idx.num_blocks());
+        assert_eq!(loaded.live_objects(), idx.live_objects());
+        for w1 in 0..5u32 {
+            let q = Rect::new(&[5.0, 5.0], &[40.0, 40.0]);
+            let mut a = idx.query(&q, &[w1, 5]);
+            let mut b = loaded.query(&q, &[w1, 5]);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "keyword {w1}");
+        }
+        #[cfg(feature = "debug-invariants")]
+        loaded.validate().unwrap();
+        // The loaded index keeps accepting writes where the old one
+        // left off.
+        let mut loaded = loaded;
+        let h = loaded.insert(Point::new2(1.0, 1.0), vec![0, 5]);
+        assert_eq!(h.0, idx.next_id());
+    }
+
+    #[test]
+    fn persist_rejects_tampered_bytes_typed() {
+        let mut idx = DynamicOrpKw::new(2, 2);
+        for i in 0..200 {
+            idx.insert(Point::new2(i as f64, i as f64), vec![i % 4, 4]);
+        }
+        let bytes = idx.to_bytes().unwrap();
+        for pos in (0..bytes.len()).step_by(101) {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x20;
+            if let Err(e) = DynamicOrpKw::try_from_bytes(&bad) {
+                assert!(
+                    matches!(e, SkqError::Corrupted { .. } | SkqError::Store { .. }),
+                    "byte {pos}: {e}"
+                );
+            }
+        }
     }
 
     /// Deliberate corruption must be rejected with a descriptive

@@ -125,8 +125,10 @@ impl fmt::Display for SkqError {
 
 impl std::error::Error for SkqError {}
 
-/// Shared query-validation helpers for the `try_query_into` surfaces.
-pub(crate) mod validate {
+/// Shared query-validation helpers for the `try_query_into` surfaces
+/// (public so service layers can pre-validate before cheaper
+/// unvalidated sink paths — e.g. the brownout count-only rung).
+pub mod validate {
     use super::SkqError;
     use skq_geom::{ConvexPolytope, Point, Rect};
 

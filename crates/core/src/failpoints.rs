@@ -35,6 +35,9 @@ pub const SITES: &[&str] = &[
     "serve::request",
     "serve::worker",
     "store::read_page",
+    "store::wal_append",
+    "store::fsync",
+    "store::checkpoint",
 ];
 
 /// What an armed fail point does when hit.
@@ -45,6 +48,10 @@ pub enum FailAction {
     /// Panic with `"fail point <site> triggered"` — exercises the
     /// panic-isolation machinery (batch shards).
     Panic,
+    /// Abort the whole process (`std::process::abort`) — simulates a
+    /// hard crash (power loss, OOM-kill) for the WAL/recovery
+    /// drivers; nothing unwinds and no destructor runs.
+    Abort,
 }
 
 /// Evaluates the named fail point.
@@ -136,6 +143,7 @@ mod imp {
         match action {
             FailAction::Err => Err(SkqError::Internal(format!("fail point {site} triggered"))),
             FailAction::Panic => panic!("fail point {site} triggered"),
+            FailAction::Abort => std::process::abort(),
         }
     }
 }

@@ -95,6 +95,13 @@ pub mod kind {
     pub const NN_HEAD: u16 = 18;
     /// A chunk of `LinfNnIndex` points.
     pub const NN_POINTS: u16 = 19;
+    /// `DynamicOrpKw` head: `k`, `dim`, handle watermark, buffer
+    /// length, and the logarithmic-method slot occupancy.
+    pub const DYN_HEAD: u16 = 20;
+    /// A chunk of `DynamicOrpKw` objects: `(handle, live flag, point,
+    /// keywords)` tuples — used for both the insertion buffer and each
+    /// block's retained source.
+    pub const DYN_OBJECTS: u16 = 21;
 }
 
 /// FNV-1a, 64-bit — the per-section checksum of DESIGN.md §15.

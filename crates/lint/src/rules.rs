@@ -79,6 +79,11 @@ pub const RULES: &[(&str, &str, RuleFn)] = &[
         "every file with a serialized-section impl (`impl Persist for`) references SCHEMA_VERSION",
         l13_persist_impls_reference_schema_version,
     ),
+    (
+        "L14",
+        "every fail-point site in SITES appears in DESIGN.md's fail-point table",
+        l14_failpoint_sites_documented,
+    ),
 ];
 
 /// Modules on the request path: panics here would take down a serving
@@ -256,21 +261,10 @@ fn is_metric_name(name: &str) -> bool {
 
 // ---------------------------------------------------------------- L04
 
-fn l04_failpoint_registry(ws: &Workspace, out: &mut Vec<Finding>) {
-    let Some(reg_file) = ws.file("crates/core/src/failpoints.rs") else {
-        return;
-    };
-    // Parse the SITES array from raw text (the masking blanks literals).
-    let Some(decl) = reg_file.raw.find("pub const SITES") else {
-        push(
-            out,
-            "L04",
-            reg_file,
-            0,
-            "failpoints.rs lost its `pub const SITES` registry".to_string(),
-        );
-        return;
-    };
+/// Parses the `SITES` array from `failpoints.rs` raw text (the masking
+/// blanks literals): `(site name, raw offset)` per entry.
+fn parse_failpoint_sites(reg_file: &SourceFile) -> Option<Vec<(String, usize)>> {
+    let decl = reg_file.raw.find("pub const SITES")?;
     let end = reg_file.raw[decl..]
         .find("];")
         .map(|e| decl + e)
@@ -286,6 +280,23 @@ fn l04_failpoint_registry(ws: &Workspace, out: &mut Vec<Finding>) {
         sites.push((block[start..start + len].to_string(), decl + start));
         from = start + len + 1;
     }
+    Some(sites)
+}
+
+fn l04_failpoint_registry(ws: &Workspace, out: &mut Vec<Finding>) {
+    let Some(reg_file) = ws.file("crates/core/src/failpoints.rs") else {
+        return;
+    };
+    let Some(sites) = parse_failpoint_sites(reg_file) else {
+        push(
+            out,
+            "L04",
+            reg_file,
+            0,
+            "failpoints.rs lost its `pub const SITES` registry".to_string(),
+        );
+        return;
+    };
     for (i, (site, o)) in sites.iter().enumerate() {
         if sites[..i].iter().any(|(s, _)| s == site) {
             push(
@@ -710,6 +721,34 @@ fn l13_persist_impls_reference_schema_version(ws: &Workspace, out: &mut Vec<Find
                      references SCHEMA_VERSION (the bump site for layout changes, \
                      DESIGN.md \u{a7}15)"
                 ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L14
+
+/// A fail point is an operational contract: chaos tests and the
+/// `skq-crash` driver arm sites by name, so a site that exists only in
+/// source is an undocumented knob nobody can reach for. Every entry in
+/// `failpoints::SITES` must therefore appear in DESIGN.md's fail-point
+/// table (§11), mirroring how L03/L12 pin metric and span names.
+fn l14_failpoint_sites_documented(ws: &Workspace, out: &mut Vec<Finding>) {
+    let Some(reg_file) = ws.file("crates/core/src/failpoints.rs") else {
+        return;
+    };
+    let Some(sites) = parse_failpoint_sites(reg_file) else {
+        return; // A missing registry is already an L04 finding.
+    };
+    let design = ws.docs.get("DESIGN.md").map(String::as_str).unwrap_or("");
+    for (site, o) in &sites {
+        if !design.contains(site.as_str()) {
+            push(
+                out,
+                "L14",
+                reg_file,
+                *o,
+                format!("fail-point site `{site}` is not documented in DESIGN.md \u{a7}11"),
             );
         }
     }

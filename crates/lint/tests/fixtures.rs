@@ -257,6 +257,33 @@ fn l13_persist_impls_must_reference_schema_version() {
 }
 
 #[test]
+fn l14_requires_documented_failpoint_sites() {
+    let registry =
+        "pub const SITES: &[&str] = &[\n    \"orp::build\",\n    \"store::fsync\",\n];\n";
+    let caller = "pub fn f() -> Result<(), E> {\n    failpoints::check(\"orp::build\")?;\n    failpoints::check(\"store::fsync\")?;\n    Ok(())\n}\n";
+    let findings = lint(&[
+        ("crates/core/src/failpoints.rs", registry),
+        ("crates/core/src/orp.rs", caller),
+        ("DESIGN.md", "| `orp::build` | ORP build path |\n"),
+    ]);
+    let l14: Vec<_> = findings.iter().filter(|f| f.rule == "L14").collect();
+    assert_eq!(l14.len(), 1, "{findings:?}");
+    assert_eq!((l14[0].line, l14[0].col), (3, 6));
+    assert!(l14[0].message.contains("store::fsync"), "{findings:?}");
+
+    // Both sites documented: no findings.
+    let findings = lint(&[
+        ("crates/core/src/failpoints.rs", registry),
+        ("crates/core/src/orp.rs", caller),
+        (
+            "DESIGN.md",
+            "| `orp::build` | ORP build path |\n| `store::fsync` | durable sync |\n",
+        ),
+    ]);
+    assert!(findings.iter().all(|f| f.rule != "L14"), "{findings:?}");
+}
+
+#[test]
 fn inline_suppression_needs_justification() {
     let justified = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // skq-lint: allow(L01) fixture: reason given\n}\n";
     assert!(lint(&[("crates/core/src/batch.rs", justified)]).is_empty());
@@ -275,6 +302,7 @@ fn every_rule_id_is_covered_by_a_fixture() {
     // Meta-check: the registry and this file must grow together.
     let covered = [
         "L01", "L02", "L03", "L04", "L05", "L06", "L07", "L08", "L09", "L10", "L11", "L12", "L13",
+        "L14",
     ];
     for (id, _, _) in skq_lint::rules::RULES {
         assert!(covered.contains(id), "rule {id} has no fixture test");

@@ -9,6 +9,7 @@
 //! skq-load [--scenario city|web|sensors] [--n OBJECTS] [--seed S]
 //!          [--requests R] [--qps Q] [--threads W] [--k K]
 //!          [--deadline-ms MS] [--rotate-ms MS] [--chaos]
+//!          [--retries N] [--backoff-us B] [--brownout]
 //!          [--json PATH] [--trace PATH]
 //! ```
 //!
@@ -20,6 +21,12 @@
 //!   `serve::request` fail point for 1 in 10 requests and verifies the
 //!   injected failures come back as typed errors, nothing panics, and
 //!   everything else succeeds.
+//! * `--retries N` re-submits a request shed with `Overloaded` up to
+//!   `N` times, sleeping a jittered exponential backoff starting at
+//!   `--backoff-us B` (default 500µs) between attempts.
+//! * `--brownout` enables the server's degradation ladder
+//!   ([`skq_serve::BrownoutConfig`]): deep queues serve clamped or
+//!   count-only answers before admission control sheds.
 //! * `--trace PATH` writes a chrome://tracing file of the run.
 //!
 //! Exit codes: 0 success, 2 usage error, 4 dropped/failed requests
@@ -33,13 +40,14 @@ use std::time::{Duration, Instant};
 use skq_bench::json::Json;
 use skq_core::suite::OrpKwSuite;
 use skq_core::SkqError;
-use skq_serve::{Request, Server, ServerConfig};
+use skq_serve::{BrownoutConfig, Request, Server, ServerConfig};
 use skq_workload::queries::QueryGen;
 use skq_workload::scenarios;
 
 const USAGE: &str = "usage: skq-load [--scenario city|web|sensors] [--n OBJECTS] [--seed S]
   [--requests R] [--qps Q] [--threads W] [--k K] [--deadline-ms MS]
-  [--rotate-ms MS] [--chaos] [--json PATH] [--trace PATH]";
+  [--rotate-ms MS] [--chaos] [--retries N] [--backoff-us B] [--brownout]
+  [--json PATH] [--trace PATH]";
 
 struct Options {
     scenario: String,
@@ -52,6 +60,9 @@ struct Options {
     deadline_ms: u64,
     rotate_ms: u64,
     chaos: bool,
+    retries: u32,
+    backoff_us: u64,
+    brownout: bool,
     json: Option<String>,
     trace: Option<String>,
 }
@@ -69,6 +80,9 @@ impl Default for Options {
             deadline_ms: 0,
             rotate_ms: 0,
             chaos: false,
+            retries: 0,
+            backoff_us: 500,
+            brownout: false,
             json: None,
             trace: None,
         }
@@ -97,6 +111,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--rotate-ms" => opts.rotate_ms = parse_num(&value("--rotate-ms")?, "--rotate-ms")?,
             "--chaos" => opts.chaos = true,
+            "--retries" => opts.retries = parse_num(&value("--retries")?, "--retries")?,
+            "--backoff-us" => opts.backoff_us = parse_num(&value("--backoff-us")?, "--backoff-us")?,
+            "--brownout" => opts.brownout = true,
             "--json" => opts.json = Some(value("--json")?),
             "--trace" => opts.trace = Some(value("--trace")?),
             other => return Err(format!("unknown flag {other}")),
@@ -178,6 +195,7 @@ fn run(opts: &Options) -> Result<ExitCode, String> {
             default_deadline: (opts.deadline_ms > 0)
                 .then(|| Duration::from_millis(opts.deadline_ms)),
             default_max_results: None,
+            brownout: opts.brownout.then(BrownoutConfig::default),
         },
     ));
 
@@ -221,6 +239,10 @@ fn run(opts: &Options) -> Result<ExitCode, String> {
 
     let mut pendings = Vec::with_capacity(opts.requests);
     let mut dropped = 0usize;
+    let mut retried = 0usize;
+    // Deterministic jitter source for the backoff (xorshift64*), so
+    // replays with the same seed sleep the same schedule.
+    let mut jitter = opts.seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
     for (i, req) in requests.into_iter().enumerate() {
         if let Some(interval) = interval {
             let due = started + interval * (i as u32);
@@ -229,9 +251,31 @@ fn run(opts: &Options) -> Result<ExitCode, String> {
                 std::thread::sleep(due - now);
             }
         }
-        match server.submit(req) {
-            Ok(pending) => pendings.push(pending),
-            Err(_) => dropped += 1,
+        // Retry budget on Overloaded: jittered exponential backoff —
+        // each attempt doubles the base delay, and the ±50% jitter
+        // decorrelates clients that shed together.
+        let mut attempt = 0u32;
+        loop {
+            match server.submit(req.clone()) {
+                Ok(pending) => {
+                    pendings.push(pending);
+                    break;
+                }
+                Err(SkqError::Overloaded { .. }) if attempt < opts.retries => {
+                    attempt += 1;
+                    retried += 1;
+                    jitter ^= jitter << 13;
+                    jitter ^= jitter >> 7;
+                    jitter ^= jitter << 17;
+                    let base = opts.backoff_us.saturating_mul(1 << attempt.min(16));
+                    let delay = base / 2 + jitter % base.max(1);
+                    std::thread::sleep(Duration::from_micros(delay));
+                }
+                Err(_) => {
+                    dropped += 1;
+                    break;
+                }
+            }
         }
     }
 
@@ -272,7 +316,7 @@ fn run(opts: &Options) -> Result<ExitCode, String> {
         achieved_qps,
     );
     println!(
-        "  ok={ok} injected={injected}/{chaos_budget} failed={} dropped={dropped}",
+        "  ok={ok} injected={injected}/{chaos_budget} failed={} dropped={dropped} retried={retried}",
         failed.len(),
     );
     println!(
@@ -306,6 +350,7 @@ fn run(opts: &Options) -> Result<ExitCode, String> {
         report.set("injected", Json::Num(injected as f64));
         report.set("failed", Json::Num(failed.len() as f64));
         report.set("dropped", Json::Num(dropped as f64));
+        report.set("retried", Json::Num(retried as f64));
         report.set("elapsed_seconds", Json::Num(elapsed.as_secs_f64()));
         report.set("achieved_qps", Json::Num(achieved_qps));
         let mut lat = Json::obj();

@@ -40,8 +40,10 @@
 
 pub mod pool;
 pub mod queue;
+pub mod recover;
 pub mod snapshot;
 
-pub use pool::{Pending, Reply, Request, Server, ServerConfig};
+pub use pool::{BrownoutConfig, Pending, Reply, Request, Server, ServerConfig};
 pub use queue::ShardedQueue;
+pub use recover::RecoverySupervisor;
 pub use snapshot::{SnapshotCell, Versioned};

@@ -30,14 +30,48 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use skq_core::concurrency::{available_threads, effective_threads};
+use skq_core::error::validate;
 use skq_core::failpoints;
+use skq_core::sink::{CountSink, ResultSink as _};
 use skq_core::suite::OrpKwSuite;
-use skq_core::{CancelToken, QueryGuard, QueryStats, SkqError};
+use skq_core::{CancelToken, GuardedSink, QueryGuard, QueryStats, SkqError, TruncatedReason};
 use skq_geom::Rect;
 use skq_invidx::Keyword;
 
 use crate::queue::ShardedQueue;
 use crate::snapshot::{SnapshotCell, Versioned};
+
+/// The brownout ladder: graceful degradation levels entered *before*
+/// admission control starts shedding with [`SkqError::Overloaded`].
+///
+/// As the queue fills past `limited_depth` of capacity, new requests
+/// get their result budget clamped to `limited_results` ("limited");
+/// past `count_only_depth` they are answered with a count and no
+/// result ids at all ("count_only") — the cheapest honest answer the
+/// suite can produce. Each reply says which rung served it via
+/// [`Reply::degraded`], so clients can distinguish a short answer
+/// from a small one.
+#[derive(Clone, Copy, Debug)]
+pub struct BrownoutConfig {
+    /// Queue-depth fraction (of capacity) past which requests run with
+    /// a clamped result budget.
+    pub limited_depth: f64,
+    /// Queue-depth fraction past which requests are answered
+    /// count-only.
+    pub count_only_depth: f64,
+    /// The clamped result budget at the "limited" rung.
+    pub limited_results: usize,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        Self {
+            limited_depth: 0.5,
+            count_only_depth: 0.85,
+            limited_results: 128,
+        }
+    }
+}
 
 /// Sizing and default-limit knobs for a [`Server`].
 #[derive(Clone, Debug)]
@@ -54,6 +88,9 @@ pub struct ServerConfig {
     pub default_deadline: Option<Duration>,
     /// Result budget applied to requests that don't carry their own.
     pub default_max_results: Option<usize>,
+    /// Graceful-degradation ladder; `None` (the default) goes straight
+    /// from full service to shedding.
+    pub brownout: Option<BrownoutConfig>,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +101,7 @@ impl Default for ServerConfig {
             queue_stripes: 0,
             default_deadline: None,
             default_max_results: None,
+            brownout: None,
         }
     }
 }
@@ -108,6 +146,11 @@ pub struct Reply {
     /// The snapshot generation that served this request — lets a
     /// client correlate answers with rotations.
     pub generation: u64,
+    /// Which brownout rung served this request: `None` for full
+    /// service, `Some("limited")` for a clamped result budget,
+    /// `Some("count_only")` for a count with no ids (`stats.emitted`
+    /// carries the count).
+    pub degraded: Option<&'static str>,
 }
 
 /// A submitted request's handle; redeem it with
@@ -137,6 +180,8 @@ struct Job {
     rect: Rect,
     keywords: Vec<Keyword>,
     guard: QueryGuard,
+    /// Brownout rung assigned at admission (see [`BrownoutConfig`]).
+    degraded: Option<&'static str>,
     enqueued: Instant,
     respond: SyncSender<Result<Reply, SkqError>>,
 }
@@ -198,13 +243,40 @@ impl Server {
         if self.shared.queue.is_closed() {
             return Err(SkqError::Internal("server is shut down".into()));
         }
+        // Brownout: pick the degradation rung from the queue depth
+        // observed at admission, before shedding would kick in.
+        let degraded = self.shared.config.brownout.as_ref().and_then(|b| {
+            let frac =
+                self.shared.queue.len() as f64 / (self.shared.config.queue_capacity.max(1)) as f64;
+            if frac >= b.count_only_depth {
+                Some("count_only")
+            } else if frac >= b.limited_depth {
+                Some("limited")
+            } else {
+                None
+            }
+        });
+        if let Some(level) = degraded {
+            skq_obs::global()
+                .counter("skq_serve_brownout_total", &[("level", level)])
+                .inc();
+        }
         // Build the guard now: its deadline clock starts at arrival,
         // so time spent queued counts against the budget.
         let mut guard = QueryGuard::new();
         if let Some(d) = req.deadline.or(self.shared.config.default_deadline) {
             guard = guard.with_deadline(d);
         }
-        if let Some(n) = req.max_results.or(self.shared.config.default_max_results) {
+        let mut max_results = req.max_results.or(self.shared.config.default_max_results);
+        if degraded == Some("limited") {
+            let clamp = self
+                .shared
+                .config
+                .brownout
+                .map_or(usize::MAX, |b| b.limited_results);
+            max_results = Some(max_results.map_or(clamp, |n| n.min(clamp)));
+        }
+        if let Some(n) = max_results {
             guard = guard.with_max_results(n);
         }
         if let Some(token) = req.cancel {
@@ -215,6 +287,7 @@ impl Server {
             rect: req.rect,
             keywords: req.keywords,
             guard,
+            degraded,
             enqueued: Instant::now(),
             respond: tx,
         };
@@ -401,6 +474,9 @@ fn run_request(shared: &Shared, job: &Job) -> Result<Reply, SkqError> {
 
 fn execute(snap: &Versioned<OrpKwSuite>, job: &Job) -> Result<Reply, SkqError> {
     failpoints::check("serve::request")?;
+    if job.degraded == Some("count_only") {
+        return execute_count_only(snap, job);
+    }
     let (ids, stats) = snap
         .value
         .try_query_guarded(&job.rect, &job.keywords, &job.guard)?;
@@ -408,6 +484,34 @@ fn execute(snap: &Versioned<OrpKwSuite>, job: &Job) -> Result<Reply, SkqError> {
         ids,
         stats,
         generation: snap.generation,
+        degraded: job.degraded,
+    })
+}
+
+/// The deepest brownout rung: answer with a guarded count and no
+/// result ids. `stats.emitted` carries the count; deadline and
+/// cancellation still produce their typed errors so a browned-out
+/// request is cheap, not unbounded.
+fn execute_count_only(snap: &Versioned<OrpKwSuite>, job: &Job) -> Result<Reply, SkqError> {
+    validate::rect_query(&job.rect, snap.value.dim())?;
+    let mut stats = QueryStats::default();
+    let mut sink = GuardedSink::new(CountSink::new(), &job.guard);
+    let _ = snap
+        .value
+        .query_sink(&job.rect, &job.keywords, &mut sink, &mut stats);
+    match sink.truncated_reason() {
+        Some(TruncatedReason::DeadlineExceeded) => return Err(SkqError::DeadlineExceeded),
+        Some(TruncatedReason::Cancelled) => return Err(SkqError::Cancelled),
+        Some(TruncatedReason::Limit) | None => {}
+    }
+    stats.emitted = sink.emitted();
+    stats.truncated = sink.truncated_reason().is_some();
+    stats.truncated_reason = sink.truncated_reason();
+    Ok(Reply {
+        ids: Vec::new(),
+        stats,
+        generation: snap.generation,
+        degraded: job.degraded,
     })
 }
 
@@ -472,6 +576,54 @@ mod tests {
             .query(Request::new(Rect::full(2), vec![0, 1]))
             .unwrap();
         assert_eq!(reply.generation, 1);
+    }
+
+    #[test]
+    fn brownout_count_only_answers_with_a_count() {
+        let dataset = scenarios::city(300, 11);
+        let suite = OrpKwSuite::build(&dataset, 2);
+        let mut expected = suite.query(&Rect::full(2), &[0, 1]);
+        expected.sort_unstable();
+        // Depth thresholds of 0 put every request on the deepest rung,
+        // making the ladder deterministic under test.
+        let server = Server::start(
+            OrpKwSuite::build(&dataset, 2),
+            ServerConfig {
+                brownout: Some(BrownoutConfig {
+                    limited_depth: 0.0,
+                    count_only_depth: 0.0,
+                    limited_results: 8,
+                }),
+                ..ServerConfig::default()
+            },
+        );
+        let reply = server
+            .query(Request::new(Rect::full(2), vec![0, 1]))
+            .unwrap();
+        assert_eq!(reply.degraded, Some("count_only"));
+        assert!(reply.ids.is_empty());
+        assert_eq!(reply.stats.emitted, expected.len() as u64);
+    }
+
+    #[test]
+    fn brownout_limited_clamps_the_result_budget() {
+        let dataset = scenarios::city(300, 11);
+        let server = Server::start(
+            OrpKwSuite::build(&dataset, 2),
+            ServerConfig {
+                brownout: Some(BrownoutConfig {
+                    limited_depth: 0.0,
+                    count_only_depth: 2.0,
+                    limited_results: 3,
+                }),
+                ..ServerConfig::default()
+            },
+        );
+        let reply = server
+            .query(Request::new(Rect::full(2), vec![0, 1]))
+            .unwrap();
+        assert_eq!(reply.degraded, Some("limited"));
+        assert!(reply.ids.len() <= 3);
     }
 
     #[test]

@@ -53,11 +53,38 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use skq_core::error::SkqError;
+use skq_core::failpoints;
 
+pub mod durable;
+pub mod wal;
+
+pub use durable::{CheckpointPolicy, DurabilityConfig, DurableDynamic, RecoveryReport};
 pub use skq_core::persist::{Persist, SCHEMA_VERSION};
+pub use wal::{SyncPolicy, Wal, WalConfig, WalOp, WalRecord};
 
 /// File extension given to snapshots by [`FileBackend`].
 pub const SNAPSHOT_EXT: &str = "skq";
+
+/// Fsyncs an open file, consulting the `store::fsync` fail point
+/// first so chaos tests can simulate a device that refuses to make
+/// bytes durable. Shared by [`FileBackend::put`] and the WAL.
+pub(crate) fn sync_file(f: &fs::File, what: &Path) -> Result<(), SkqError> {
+    failpoints::check("store::fsync")?;
+    f.sync_all()
+        .map_err(|e| store_err("file", format!("fsyncing {}: {e}", what.display())))?;
+    skq_obs::global().counter("skq_wal_fsyncs_total", &[]).inc();
+    Ok(())
+}
+
+/// Fsyncs a directory, making a rename or unlink inside it durable
+/// (POSIX: the rename itself lives in the directory's metadata, so a
+/// crash after `rename` but before the directory sync can lose the
+/// *name*, not just the bytes). Same fail point as [`sync_file`].
+pub(crate) fn sync_dir(dir: &Path) -> Result<(), SkqError> {
+    let d = fs::File::open(dir)
+        .map_err(|e| store_err("file", format!("opening {} to fsync: {e}", dir.display())))?;
+    sync_file(&d, dir)
+}
 
 fn store_err(backend: &str, message: String) -> SkqError {
     SkqError::Store {
@@ -282,15 +309,23 @@ impl IndexBackend for FileBackend {
     fn put(&self, name: &str, bytes: &[u8]) -> Result<(), SkqError> {
         let path = self.path_of(name)?;
         let tmp = self.dir.join(format!(".{name}.{SNAPSHOT_EXT}.tmp"));
-        let write = || -> std::io::Result<()> {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(bytes)?;
-            f.sync_all()?;
-            fs::rename(&tmp, &path)
+        // Durable atomic write: the temp file's *bytes* are fsynced
+        // before the rename publishes the name, and the parent
+        // directory is fsynced after, so a power cut leaves either the
+        // old snapshot or the complete new one — never a half-written
+        // file under the published name and never a rename that
+        // evaporates with the directory's unsynced metadata.
+        let write = || -> Result<(), SkqError> {
+            let io =
+                |e: std::io::Error| store_err("file", format!("writing {}: {e}", path.display()));
+            let mut f = fs::File::create(&tmp).map_err(io)?;
+            f.write_all(bytes).map_err(io)?;
+            sync_file(&f, &tmp)?;
+            fs::rename(&tmp, &path).map_err(io)?;
+            sync_dir(&self.dir)
         };
-        write().map_err(|e| {
+        write().inspect_err(|_| {
             let _ = fs::remove_file(&tmp);
-            store_err("file", format!("writing {}: {e}", path.display()))
         })
     }
 

@@ -87,7 +87,8 @@ const USAGE: &str = "usage:
   skq ball <data.csv> --center a,b,… --radius r --tags t1,t2[,…] [--count-only] [--limit t] [--deadline-ms ms] [--max-results m] [--stats] [--metrics out.prom] [--trace out.json]
   skq nn   <data.csv> --at a,b,… --t N --tags t1,t2[,…] [--stats] [--metrics out.prom] [--trace out.json]
   skq save <data.csv> <snapshot.skq> [--k-max K]
-  skq load <snapshot.skq> [--lo a,b,… --hi a,b,… --tag-ids i,j[,…]]";
+  skq load <snapshot.skq> [--lo a,b,… --hi a,b,… --tag-ids i,j[,…]]
+  skq recover <data-dir> [--dim D] [--k K]";
 
 fn run(args: &[String]) -> Result<(), CliError> {
     let cmd = args.first().ok_or("missing command")?.as_str();
@@ -347,6 +348,53 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 hits.sort_unstable();
                 println!("{} matches: {hits:?}", hits.len());
             }
+            Ok(())
+        }
+        "recover" => {
+            let dir = args.get(1).ok_or("recover needs a data directory")?;
+            let opts = parse_flags(&args[2..])?;
+            let dim: usize = match opts.get("dim") {
+                Some(v) => v.parse().map_err(|_| {
+                    CliError::BadArg(format!("--dim must be an integer, got {v:?}"))
+                })?,
+                None => 2,
+            };
+            let k: usize = match opts.get("k") {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| CliError::BadArg(format!("--k must be an integer, got {v:?}")))?,
+                None => 2,
+            };
+            let started = std::time::Instant::now();
+            let (durable, report) = skq_store::DurableDynamic::open(
+                std::path::Path::new(dir),
+                dim,
+                k,
+                skq_store::DurabilityConfig::default(),
+            )
+            .map_err(|e| CliError::BadArg(e.to_string()))?;
+            println!(
+                "recovered {dir} in {} µs: {} live objects",
+                started.elapsed().as_micros(),
+                durable.index().len()
+            );
+            println!(
+                "  checkpoint lsn {}, last lsn {}, {} replayed, {} skipped{}{}",
+                report.checkpoint_lsn,
+                report.last_lsn,
+                report.replayed,
+                report.skipped,
+                if report.torn_tail {
+                    ", torn tail truncated"
+                } else {
+                    ""
+                },
+                if report.checkpoints_discarded > 0 {
+                    ", corrupt checkpoint(s) discarded"
+                } else {
+                    ""
+                },
+            );
             Ok(())
         }
         other => Err(format!("unknown command {other}").into()),

@@ -8,6 +8,7 @@
 
 #![cfg(feature = "failpoints")]
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use structured_keyword_search::core::batch::{run_batch_isolated, BatchQuery, ShardOutcome};
@@ -17,6 +18,7 @@ use structured_keyword_search::core::guard::QueryGuard;
 use structured_keyword_search::core::suite::OrpKwSuite;
 use structured_keyword_search::prelude::*;
 use structured_keyword_search::serve::{Request, Server, ServerConfig};
+use structured_keyword_search::store::{CheckpointPolicy, DurabilityConfig, DurableDynamic};
 
 static CHAOS_LOCK: Mutex<()> = Mutex::new(());
 
@@ -112,6 +114,35 @@ fn drive(site: &str, d: &Dataset) -> Result<(), SkqError> {
             run_batch_isolated(&index, &queries, 2, &QueryGuard::new())
                 .into_results()
                 .map(|_| ())
+        }
+        "store::wal_append" | "store::fsync" | "store::checkpoint" => {
+            // The durability sites fire inside a `DurableDynamic`'s op
+            // path: the default `SyncPolicy::Always` makes the first
+            // insert hit both the append and its fsync, and the
+            // explicit cut hits the checkpoint site. A fresh directory
+            // per call keeps the disarmed recovery re-run clean.
+            static NEXT_DIR: AtomicUsize = AtomicUsize::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "skq-chaos-durable-{}-{}",
+                std::process::id(),
+                NEXT_DIR.fetch_add(1, Ordering::Relaxed)
+            ));
+            let config = DurabilityConfig {
+                checkpoint: CheckpointPolicy {
+                    every_ops: u64::MAX,
+                    every_bytes: u64::MAX,
+                },
+                ..DurabilityConfig::default()
+            };
+            let result = (|| {
+                let (mut durable, _report) = DurableDynamic::open(&dir, 2, 2, config)?;
+                for i in 0..4u32 {
+                    durable.insert(Point::new2(i as f64, 0.0), vec![0, 1])?;
+                }
+                durable.checkpoint()
+            })();
+            let _ = std::fs::remove_dir_all(&dir);
+            result
         }
         "store::read_page" => {
             // The site fires in the page-walk decoder: encode a small
