@@ -44,16 +44,19 @@ static ALLOCS: AtomicU64 = AtomicU64::new(0);
 // counter bookkeeping, which cannot violate allocator invariants.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // relaxed: allocator-path telemetry counters; the report-time
+        // SeqCst loads run after the measured phase has quiesced
         BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOCS.fetch_add(1, Ordering::Relaxed); // relaxed: see above
         System.alloc(layout)
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // relaxed: allocator-path telemetry counters; see alloc()
         BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOCS.fetch_add(1, Ordering::Relaxed); // relaxed: see above
         System.realloc(ptr, layout, new_size)
     }
 }

@@ -90,7 +90,7 @@ pub fn clear() {
 mod imp {
     use super::{FailAction, SkqError};
     use std::collections::HashMap;
-    use std::sync::Mutex;
+    use std::sync::{Mutex, PoisonError};
 
     struct Entry {
         action: FailAction,
@@ -106,7 +106,7 @@ mod imp {
     pub fn inject(site: &str, action: FailAction, times: Option<usize>) {
         registry()
             .lock()
-            .expect("fail-point registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(
                 site.to_string(),
                 Entry {
@@ -119,13 +119,13 @@ mod imp {
     pub fn clear() {
         registry()
             .lock()
-            .expect("fail-point registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .clear();
     }
 
     pub fn check(site: &'static str) -> Result<(), SkqError> {
         let action = {
-            let mut map = registry().lock().expect("fail-point registry poisoned");
+            let mut map = registry().lock().unwrap_or_else(PoisonError::into_inner);
             match map.get_mut(site) {
                 None => return Ok(()),
                 Some(entry) => match entry.remaining {

@@ -52,11 +52,16 @@ impl CancelToken {
     /// Trips the token: every guarded query holding a clone stops at
     /// its next emission check.
     pub fn cancel(&self) {
+        // relaxed: monotonic one-way latch; no data is published
+        // through the flag, cancellation only needs eventual
+        // visibility at the next emission check
         self.flag.store(true, Ordering::Relaxed);
     }
 
     /// Whether [`cancel`](Self::cancel) has been called.
     pub fn is_cancelled(&self) -> bool {
+        // relaxed: yes/no latch read on the emission hot path; a
+        // stale `false` only delays the stop by one check
         self.flag.load(Ordering::Relaxed)
     }
 }

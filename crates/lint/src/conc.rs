@@ -1,0 +1,769 @@
+//! The concurrency audit pass: token-level rules L15–L18.
+//!
+//! Unlike the line-oriented rules in [`crate::rules`], these walk the
+//! lexed token stream directly (see [`crate::lex`]), so they can see
+//! structure the masked text cannot: receiver chains, call argument
+//! lists, enclosing loops, and function bodies.
+//!
+//! The pass is an *auditor*, not a verifier. Lock identity is the
+//! receiver's final field name (`self.stripes[i].read()` → `stripes`) —
+//! a deliberate over-approximation that unifies same-named fields
+//! across crates and collapses striped locks into one node. That makes
+//! the lock-order graph small and reviewable, at the cost of
+//! occasionally merging unrelated locks; naming locks distinctly is
+//! part of the discipline the rule enforces. Self-edges are ignored
+//! (striped locks legitimately acquire same-named siblings in a fixed
+//! stripe order).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lex::{Token, TokenKind};
+use crate::scan::SourceFile;
+use crate::{Finding, Workspace};
+
+/// Guard-producing methods audited by L15/L18 (all nullary).
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Atomic read-modify-write methods; any of these with an
+/// acquire-or-stronger ordering counts as the read side of a
+/// release/acquire pair.
+const ATOMIC_RMW: &[&str] = &[
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_nand",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// A non-trivia view over a file's token stream: whitespace and
+/// comments are skipped, indices are positions in this *code* sequence.
+struct Code<'a> {
+    file: &'a SourceFile,
+    idx: Vec<usize>,
+}
+
+impl<'a> Code<'a> {
+    fn new(file: &'a SourceFile) -> Self {
+        let idx = file
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !matches!(
+                    t.kind,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .map(|(i, _)| i)
+            .collect();
+        Self { file, idx }
+    }
+
+    fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    fn tok(&self, k: usize) -> &Token {
+        &self.file.tokens[self.idx[k]]
+    }
+
+    fn text(&self, k: usize) -> &str {
+        let t = self.tok(k);
+        &self.file.raw[t.start..t.end]
+    }
+
+    fn kind(&self, k: usize) -> TokenKind {
+        self.tok(k).kind
+    }
+
+    fn is_ident(&self, k: usize, name: &str) -> bool {
+        k < self.len() && self.kind(k) == TokenKind::Ident && self.text(k) == name
+    }
+
+    fn is_punct(&self, k: usize, b: u8) -> bool {
+        k < self.len() && self.kind(k) == TokenKind::Punct(b)
+    }
+
+    fn is_open(&self, k: usize, b: u8) -> bool {
+        k < self.len() && self.kind(k) == TokenKind::Open(b)
+    }
+
+    fn is_close(&self, k: usize, b: u8) -> bool {
+        k < self.len() && self.kind(k) == TokenKind::Close(b)
+    }
+
+    /// 1-based `(line, col)` of code token `k`.
+    fn position(&self, k: usize) -> (usize, usize) {
+        self.file.position(self.tok(k).start)
+    }
+
+    fn is_test(&self, k: usize) -> bool {
+        self.file.is_test_at(self.tok(k).start)
+    }
+
+    /// Index of the close delimiter matching the open delimiter at `k`.
+    fn matching_close(&self, k: usize) -> Option<usize> {
+        let TokenKind::Open(open) = self.kind(k) else {
+            return None;
+        };
+        let close = close_of(open);
+        let mut depth = 0i64;
+        for j in k..self.len() {
+            match self.kind(j) {
+                TokenKind::Open(b) if b == open => depth += 1,
+                TokenKind::Close(b) if b == close => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Index of the open delimiter matching the close delimiter at `k`.
+    fn matching_open(&self, k: usize) -> Option<usize> {
+        let TokenKind::Close(close) = self.kind(k) else {
+            return None;
+        };
+        let open = open_of(close);
+        let mut depth = 0i64;
+        for j in (0..=k).rev() {
+            match self.kind(j) {
+                TokenKind::Close(b) if b == close => depth += 1,
+                TokenKind::Open(b) if b == open => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// If code token `k` is the `.` of a method call `.name(...)`,
+    /// returns `(name_index, open_paren_index)`.
+    fn method_call(&self, k: usize) -> Option<(usize, usize)> {
+        if self.is_punct(k, b'.')
+            && k + 2 < self.len()
+            && self.kind(k + 1) == TokenKind::Ident
+            && self.is_open(k + 2, b'(')
+        {
+            Some((k + 1, k + 2))
+        } else {
+            None
+        }
+    }
+
+    /// The identifying field of the receiver chain ending at the `.` at
+    /// `k`: the last plain identifier before the dot, skipping one or
+    /// more trailing index/call groups (`stripes[i]` → `stripes`,
+    /// `inner()` → `inner`). `None` for non-identifier receivers
+    /// (tuple fields, literals, parenthesized expressions).
+    fn receiver_field(&self, k: usize) -> Option<String> {
+        let mut j = k;
+        while j > 0 {
+            j -= 1;
+            match self.kind(j) {
+                TokenKind::Close(_) => j = self.matching_open(j)?,
+                TokenKind::Ident => return Some(self.text(j).to_string()),
+                _ => return None,
+            }
+        }
+        None
+    }
+
+    /// Whether the statement containing code token `k` starts with a
+    /// `let` binding (scanning back to the previous `;`, `{`, or `}`,
+    /// but not past `lo`). Used as the "guard is bound and stays live"
+    /// heuristic for lock-hold tracking.
+    fn stmt_has_let(&self, lo: usize, k: usize) -> bool {
+        let mut j = k;
+        while j > lo {
+            j -= 1;
+            match self.kind(j) {
+                TokenKind::Punct(b';') | TokenKind::Open(b'{') | TokenKind::Close(b'}') => {
+                    return false
+                }
+                TokenKind::Ident if self.text(j) == "let" => return true,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Whether the idents at `k-3..k` spell `prefix::` (two `:` puncts
+    /// plus the prefix identifier) directly before code token `k`.
+    fn path_prefix(&self, k: usize, prefix: &str) -> bool {
+        k >= 3
+            && self.is_punct(k - 1, b':')
+            && self.is_punct(k - 2, b':')
+            && self.is_ident(k - 3, prefix)
+    }
+}
+
+fn close_of(open: u8) -> u8 {
+    match open {
+        b'(' => b')',
+        b'[' => b']',
+        _ => b'}',
+    }
+}
+
+fn open_of(close: u8) -> u8 {
+    match close {
+        b')' => b'(',
+        b']' => b'[',
+        _ => b'{',
+    }
+}
+
+/// A function body located in the code-token sequence: `body_open` and
+/// `body_close` are the indices of its outer braces.
+struct FnBody {
+    body_open: usize,
+    body_close: usize,
+}
+
+/// Every `fn name(...) { ... }` body in the file, in source order.
+/// Nested functions are reported separately (and their tokens are also
+/// walked as part of the enclosing body — an accepted imprecision).
+fn fn_bodies(code: &Code) -> Vec<FnBody> {
+    let mut out = Vec::new();
+    let mut k = 0;
+    while k < code.len() {
+        if code.is_ident(k, "fn") && k + 1 < code.len() && code.kind(k + 1) == TokenKind::Ident {
+            let mut j = k + 2;
+            let mut depth = 0i64;
+            let mut body = None;
+            while j < code.len() {
+                match code.kind(j) {
+                    TokenKind::Open(b'{') if depth == 0 => {
+                        body = Some(j);
+                        break;
+                    }
+                    TokenKind::Open(_) => depth += 1,
+                    TokenKind::Close(_) => {
+                        if depth == 0 {
+                            break; // stray close: the fn had no body here
+                        }
+                        depth -= 1;
+                    }
+                    TokenKind::Punct(b';') if depth == 0 => break, // trait method decl
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(open) = body {
+                if let Some(close) = code.matching_close(open) {
+                    out.push(FnBody {
+                        body_open: open,
+                        body_close: close,
+                    });
+                    k = open + 1; // descend: nested fns get their own entry
+                    continue;
+                }
+            }
+        }
+        k += 1;
+    }
+    out
+}
+
+/// One directed edge in the lock-order graph: `from` was held (a
+/// `let`-bound guard still in scope) when `to` was acquired. The site
+/// is the first acquisition that created the edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    pub from: String,
+    pub to: String,
+    pub path: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// The inter-crate lock-order graph: nodes are lock field names, edges
+/// are held→acquired pairs observed inside some function body.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    pub nodes: BTreeSet<String>,
+    pub edges: Vec<LockEdge>,
+}
+
+impl LockGraph {
+    /// Node groups that form lock-order cycles (strongly connected
+    /// components with ≥ 2 nodes; self-edges are never recorded).
+    pub fn cycles(&self) -> Vec<Vec<String>> {
+        let nodes: Vec<&String> = self.nodes.iter().collect();
+        let index: BTreeMap<&str, usize> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i))
+            .collect();
+        let n = nodes.len();
+        let mut adj = vec![Vec::new(); n];
+        for e in &self.edges {
+            adj[index[e.from.as_str()]].push(index[e.to.as_str()]);
+        }
+        // Reachability closure; lock graphs are tiny, O(n^2) is fine.
+        let mut reach = vec![vec![false; n]; n];
+        for (s, row) in reach.iter_mut().enumerate() {
+            let mut stack = adj[s].clone();
+            while let Some(v) = stack.pop() {
+                if !row[v] {
+                    row[v] = true;
+                    stack.extend(adj[v].iter().copied());
+                }
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        for i in 0..n {
+            if seen[i] {
+                continue;
+            }
+            let mut comp = vec![i];
+            for (j, row_j) in reach.iter().enumerate().skip(i + 1) {
+                if reach[i][j] && row_j[i] {
+                    comp.push(j);
+                }
+            }
+            if comp.len() > 1 {
+                for &c in &comp {
+                    seen[c] = true;
+                }
+                out.push(comp.iter().map(|&c| nodes[c].clone()).collect());
+            }
+        }
+        out
+    }
+
+    /// Renders the graph as Graphviz DOT. Edges participating in a
+    /// cycle are colored red; edge labels carry the first site that
+    /// created the edge.
+    pub fn render_dot(&self) -> String {
+        let cycles = self.cycles();
+        let cyclic: BTreeSet<&str> = cycles.iter().flatten().map(String::as_str).collect();
+        let mut out = String::from("digraph lock_order {\n");
+        out.push_str("  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n");
+        for node in &self.nodes {
+            out.push_str(&format!("  \"{}\";\n", dot_escape(node)));
+        }
+        for e in &self.edges {
+            let red = cyclic.contains(e.from.as_str()) && cyclic.contains(e.to.as_str());
+            out.push_str(&format!(
+                "  \"{}\" -> \"{}\" [label=\"{}:{}\"{}];\n",
+                dot_escape(&e.from),
+                dot_escape(&e.to),
+                dot_escape(&e.path),
+                e.line,
+                if red { ", color=red" } else { "" }
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn dot_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Builds the workspace lock-order graph (non-test code only): for each
+/// function body, tracks `let`-bound guards from `.lock()`/`.read()`/
+/// `.write()` until their enclosing block closes, and records an edge
+/// held→acquired for every acquisition made while another guard is
+/// live. Self-edges (striped re-acquisition) are skipped.
+pub fn lock_graph(ws: &Workspace) -> LockGraph {
+    let mut graph = LockGraph::default();
+    let mut first_edge: BTreeMap<(String, String), (String, usize, usize)> = BTreeMap::new();
+    for file in &ws.files {
+        let code = Code::new(file);
+        for body in fn_bodies(&code) {
+            // (lock id, brace depth its binding lives at)
+            let mut held: Vec<(String, i64)> = Vec::new();
+            let mut depth = 0i64;
+            for k in body.body_open + 1..body.body_close {
+                match code.kind(k) {
+                    TokenKind::Open(b'{') => depth += 1,
+                    TokenKind::Close(b'}') => {
+                        depth -= 1;
+                        held.retain(|(_, d)| *d <= depth);
+                    }
+                    TokenKind::Punct(b'.') => {
+                        let Some((name_k, open)) = code.method_call(k) else {
+                            continue;
+                        };
+                        if !LOCK_METHODS.contains(&code.text(name_k))
+                            || !code.is_close(open + 1, b')')
+                            || code.is_test(k)
+                        {
+                            continue;
+                        }
+                        let Some(id) = code.receiver_field(k) else {
+                            continue;
+                        };
+                        graph.nodes.insert(id.clone());
+                        let (line, col) = code.position(name_k);
+                        for (h, _) in &held {
+                            if *h != id {
+                                first_edge
+                                    .entry((h.clone(), id.clone()))
+                                    .or_insert_with(|| (file.path.clone(), line, col));
+                            }
+                        }
+                        if code.stmt_has_let(body.body_open, k) {
+                            held.push((id, depth));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    graph.edges = first_edge
+        .into_iter()
+        .map(|((from, to), (path, line, col))| LockEdge {
+            from,
+            to,
+            path,
+            line,
+            col,
+        })
+        .collect();
+    graph
+}
+
+/// L15 — lock-order cycles. A cycle in the held→acquired graph means
+/// two code paths can acquire the same locks in opposite orders: a
+/// classic deadlock. One finding per cycle, anchored at the lexically
+/// first edge site, listing every edge involved.
+pub(crate) fn lock_order_cycles(ws: &Workspace, findings: &mut Vec<Finding>) {
+    let graph = lock_graph(ws);
+    for comp in graph.cycles() {
+        let members: BTreeSet<&str> = comp.iter().map(String::as_str).collect();
+        let involved: Vec<&LockEdge> = graph
+            .edges
+            .iter()
+            .filter(|e| members.contains(e.from.as_str()) && members.contains(e.to.as_str()))
+            .collect();
+        let Some(anchor) = involved.iter().min_by_key(|e| (&e.path, e.line, e.col)) else {
+            continue;
+        };
+        let route = involved
+            .iter()
+            .map(|e| format!("`{}`→`{}` ({}:{})", e.from, e.to, e.path, e.line))
+            .collect::<Vec<_>>()
+            .join(", ");
+        findings.push(Finding {
+            rule: "L15",
+            path: anchor.path.clone(),
+            line: anchor.line,
+            col: anchor.col,
+            message: format!(
+                "lock-order cycle among {{{}}}: {} — pick one global acquisition order \
+                 (export the graph with --lock-graph)",
+                comp.join(", "),
+                route
+            ),
+        });
+    }
+}
+
+/// L16 — atomic-ordering discipline, two obligations:
+///
+/// 1. every `Ordering::Relaxed` outside tests carries an inline
+///    `// relaxed: <reason>` comment on the same line or the line above;
+/// 2. every `store(.., Ordering::Release)` has, somewhere in non-test
+///    code, a matching acquire-or-stronger read (`load` with
+///    `Acquire`/`SeqCst`, or an RMW with `Acquire`/`AcqRel`/`SeqCst`)
+///    on the same atomic field — reported once per field, at the store.
+pub(crate) fn atomic_discipline(ws: &Workspace, findings: &mut Vec<Finding>) {
+    // Per-field pairing state: first unpaired Release-store site, and
+    // whether any acquiring read was seen.
+    struct FieldUse {
+        release_store: Option<(String, usize, usize)>,
+        acquire_read: bool,
+    }
+    let mut fields: BTreeMap<String, FieldUse> = BTreeMap::new();
+
+    for file in &ws.files {
+        let code = Code::new(file);
+        for k in 0..code.len() {
+            // Obligation 1: justified Relaxed.
+            if code.is_ident(k, "Relaxed") && code.path_prefix(k, "Ordering") && !code.is_test(k) {
+                let (line, col) = code.position(k);
+                let comments = file.comments_near(line);
+                let justified = comments
+                    .find("relaxed:")
+                    .map(|at| !comments[at + "relaxed:".len()..].trim().is_empty())
+                    .unwrap_or(false);
+                if !justified {
+                    findings.push(Finding {
+                        rule: "L16",
+                        path: file.path.clone(),
+                        line,
+                        col,
+                        message: "`Ordering::Relaxed` without an inline `// relaxed: <reason>` \
+                                  justification on the same line or in the comment block directly \
+                                  above — say why no ordering is needed, or use a stronger \
+                                  ordering"
+                            .to_string(),
+                    });
+                }
+            }
+
+            // Obligation 2: collect atomic ops (calls whose arguments
+            // mention `Ordering::<X>`) for release/acquire pairing.
+            let Some((name_k, open)) = code.method_call(k) else {
+                continue;
+            };
+            let Some(close) = code.matching_close(open) else {
+                continue;
+            };
+            let orderings = call_orderings(&code, open, close);
+            if orderings.is_empty() || code.is_test(k) {
+                continue; // not an atomic op (or test-only code)
+            }
+            let Some(field) = code.receiver_field(k) else {
+                continue;
+            };
+            let method = code.text(name_k);
+            let entry = fields.entry(field).or_insert(FieldUse {
+                release_store: None,
+                acquire_read: false,
+            });
+            let acquiring = |o: &str| matches!(o, "Acquire" | "AcqRel" | "SeqCst");
+            if method == "store" && orderings.iter().any(|o| o == "Release") {
+                if entry.release_store.is_none() {
+                    let (line, col) = code.position(name_k);
+                    entry.release_store = Some((file.path.clone(), line, col));
+                }
+            } else if (method == "load" && orderings.iter().any(|o| acquiring(o)))
+                || (ATOMIC_RMW.contains(&method) && orderings.iter().any(|o| acquiring(o)))
+            {
+                entry.acquire_read = true;
+            }
+        }
+    }
+
+    for (field, usage) in fields {
+        if usage.acquire_read {
+            continue;
+        }
+        if let Some((path, line, col)) = usage.release_store {
+            findings.push(Finding {
+                rule: "L16",
+                path,
+                line,
+                col,
+                message: format!(
+                    "atomic field `{field}`: `store(.., Ordering::Release)` has no matching \
+                     acquire-or-stronger read (`load(.., Ordering::Acquire)` or an acquiring RMW) \
+                     on the same field in non-test code — the release publishes nothing \
+                     (pairing table, DESIGN.md §12)"
+                ),
+            });
+        }
+    }
+}
+
+/// The `Ordering::<X>` path segments appearing between code indices
+/// `open` and `close` (exclusive), in order.
+fn call_orderings(code: &Code, open: usize, close: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for k in open + 1..close {
+        if code.kind(k) == TokenKind::Ident && code.path_prefix(k, "Ordering") {
+            out.push(code.text(k).to_string());
+        }
+    }
+    out
+}
+
+/// L17 — `Condvar::wait`/`wait_timeout` must sit inside a
+/// predicate-re-checking `loop`/`while`, because condvar wakeups are
+/// spurious and the predicate can be invalidated between notify and
+/// wake. `wait_while`/`wait_timeout_while` re-check internally and are
+/// exempt; nullary `.wait()` calls (futures, latches) are not condvar
+/// waits — `Condvar::wait` always takes the guard — and are skipped.
+pub(crate) fn condvar_wait_in_loop(ws: &Workspace, findings: &mut Vec<Finding>) {
+    for file in &ws.files {
+        let code = Code::new(file);
+        for body in fn_bodies(&code) {
+            // Stack of enclosing blocks; `true` = a loop/while body.
+            let mut blocks: Vec<bool> = Vec::new();
+            let mut pending_loop = false;
+            let mut paren_depth = 0i64;
+            for k in body.body_open + 1..body.body_close {
+                match code.kind(k) {
+                    TokenKind::Open(b'(') | TokenKind::Open(b'[') => paren_depth += 1,
+                    TokenKind::Close(b')') | TokenKind::Close(b']') => paren_depth -= 1,
+                    TokenKind::Ident
+                        if paren_depth == 0
+                            && (code.text(k) == "loop" || code.text(k) == "while") =>
+                    {
+                        pending_loop = true;
+                    }
+                    TokenKind::Open(b'{') => {
+                        blocks.push(pending_loop && paren_depth == 0);
+                        if paren_depth == 0 {
+                            pending_loop = false;
+                        }
+                    }
+                    TokenKind::Close(b'}') => {
+                        blocks.pop();
+                    }
+                    TokenKind::Punct(b'.') => {
+                        let Some((name_k, open)) = code.method_call(k) else {
+                            continue;
+                        };
+                        let name = code.text(name_k);
+                        let is_wait = name == "wait_timeout"
+                            || (name == "wait" && !code.is_close(open + 1, b')'));
+                        if !is_wait || code.is_test(k) {
+                            continue;
+                        }
+                        if !blocks.iter().any(|&is_loop| is_loop) {
+                            let (line, col) = code.position(name_k);
+                            findings.push(Finding {
+                                rule: "L17",
+                                path: file.path.clone(),
+                                line,
+                                col,
+                                message: format!(
+                                    "`Condvar::{name}` outside a `loop`/`while` — wakeups are \
+                                     spurious; re-check the predicate around the wait (or use \
+                                     `wait_while`)"
+                                ),
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// L18 — `.lock().unwrap()` (and `.read()`/`.write()` variants, and
+/// `.expect(..)`) panics the surviving thread when another worker
+/// panicked while holding the lock, cascading one failure into many.
+/// Non-test code must use `unwrap_or_else(PoisonError::into_inner)`:
+/// for this workspace's guard-protected state, the data is either
+/// rebuilt (snapshots) or monotonic (metrics), so recovering the
+/// poisoned guard is always sound.
+pub(crate) fn lock_unwrap_ban(ws: &Workspace, findings: &mut Vec<Finding>) {
+    for file in &ws.files {
+        let code = Code::new(file);
+        for k in 0..code.len() {
+            let Some((name_k, open)) = code.method_call(k) else {
+                continue;
+            };
+            let method = code.text(name_k);
+            if !LOCK_METHODS.contains(&method) || !code.is_close(open + 1, b')') {
+                continue;
+            }
+            let after = open + 2; // the `.` of a chained call, if any
+            let Some((next_k, _)) = code.method_call(after) else {
+                continue;
+            };
+            let consumer = code.text(next_k);
+            if !matches!(consumer, "unwrap" | "expect") || code.is_test(k) {
+                continue;
+            }
+            let (line, col) = code.position(next_k);
+            findings.push(Finding {
+                rule: "L18",
+                path: file.path.clone(),
+                line,
+                col,
+                message: format!(
+                    "`.{method}().{consumer}(..)` panics on a poisoned lock, cascading one \
+                     worker's panic into every thread that touches the lock — use \
+                     `.{method}().unwrap_or_else(PoisonError::into_inner)`"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(src: &str) -> Workspace {
+        Workspace::from_memory(&[("crates/x/src/a.rs", src)])
+    }
+
+    #[test]
+    fn receiver_field_walks_index_and_call_groups() {
+        let w = ws("fn f(&self) { self.stripes[self.pick()].read(); self.inner().lock(); }");
+        let code = Code::new(&w.files[0]);
+        let mut fields = Vec::new();
+        for k in 0..code.len() {
+            if let Some((name_k, open)) = code.method_call(k) {
+                if LOCK_METHODS.contains(&code.text(name_k)) && code.is_close(open + 1, b')') {
+                    fields.push(code.receiver_field(k).unwrap());
+                }
+            }
+        }
+        assert_eq!(fields, vec!["stripes".to_string(), "inner".to_string()]);
+    }
+
+    #[test]
+    fn lock_graph_records_held_edges_and_skips_self_edges() {
+        let w = ws(concat!(
+            "fn f(&self) {\n",
+            "    let a = self.alpha.lock();\n",
+            "    let b = self.beta.lock();\n",
+            "    drop(b); drop(a);\n",
+            "}\n",
+            "fn g(&self) {\n",
+            "    for s in &self.stripes { let _g = self.stripes.read(); }\n",
+            "}\n",
+        ));
+        let g = lock_graph(&w);
+        assert!(g.nodes.contains("alpha") && g.nodes.contains("beta"));
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!(
+            (g.edges[0].from.as_str(), g.edges[0].to.as_str()),
+            ("alpha", "beta")
+        );
+    }
+
+    #[test]
+    fn guard_scope_ends_with_its_block() {
+        let w = ws(concat!(
+            "fn f(&self) {\n",
+            "    { let a = self.alpha.lock(); }\n",
+            "    let b = self.beta.lock();\n",
+            "}\n",
+        ));
+        let g = lock_graph(&w);
+        assert!(
+            g.edges.is_empty(),
+            "alpha's guard died with its block: {:?}",
+            g.edges
+        );
+    }
+
+    #[test]
+    fn dot_output_is_wellformed() {
+        let w = ws("fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }");
+        let dot = lock_graph(&w).render_dot();
+        assert!(dot.starts_with("digraph lock_order {"));
+        assert!(dot.contains("\"alpha\" -> \"beta\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,485 @@
+//! A std-only, span-accurate Rust lexer for the rule engine.
+//!
+//! The token stream is *lossless*: every byte of the source belongs to
+//! exactly one token (whitespace and comments are tokens too), so
+//! concatenating token spans reproduces the file byte-for-byte — a
+//! property pinned by `tests/lexer_props.rs` over the whole workspace.
+//! That makes the stream safe to use both for structural rules (the
+//! concurrency pass in `conc.rs`) and as the source of truth for the
+//! masked text view the line-oriented rules L01–L14 consume
+//! (`masked_view`).
+//!
+//! The lexer is deliberately simpler than rustc's: keywords are plain
+//! `Ident` tokens, all punctuation is single-byte (`::` is two `Punct`
+//! tokens), and numeric edge cases (hex floats, suffix soup) may fuse
+//! into one `Num` token. None of that matters for the rules, which
+//! match token *sequences*; what must be exact are spans, comment
+//! boundaries, and the body ranges of string/char literals.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// How many times `lex` has run on this thread. The fixture suite
+    /// asserts this advances exactly once per file per `Workspace`
+    /// construction — i.e. every rule shares one token stream and
+    /// nothing re-reads or re-lexes behind the engine's back.
+    /// Thread-local so parallel test threads cannot skew each other's
+    /// counts.
+    static LEX_RUNS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// This thread's count of `lex` invocations (diagnostic; see
+/// `LEX_RUNS`).
+pub fn lex_runs() -> usize {
+    LEX_RUNS.with(Cell::get)
+}
+
+/// Token classification. `Open`/`Close` carry the delimiter byte
+/// (`(`/`)`, `[`/`]`, `{`/`}`); `Punct` carries the first byte of the
+/// (possibly multi-byte) punctuation character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace (newlines included).
+    Whitespace,
+    /// `// …` up to but not including the newline.
+    LineComment,
+    /// `/* … */`, nesting respected; unterminated runs to EOF.
+    BlockComment,
+    /// Identifier or keyword (`fn`, `while`, `r#ident`, …).
+    Ident,
+    /// `'a`, `'static` — quote plus identifier, no closing quote.
+    Lifetime,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Numeric literal, possibly with suffix/exponent.
+    Num,
+    /// Single punctuation character (first byte).
+    Punct(u8),
+    /// Opening delimiter byte.
+    Open(u8),
+    /// Closing delimiter byte.
+    Close(u8),
+}
+
+/// One token: `kind` plus the half-open byte span `start..end` in the
+/// source. For `Str`/`Char`, `body_start..body_end` is the literal's
+/// *contents* — the bytes between the delimiters (quotes and raw-string
+/// fences excluded). For every other kind the body range is empty.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+    pub body_start: usize,
+    pub body_end: usize,
+}
+
+impl Token {
+    fn plain(kind: TokenKind, start: usize, end: usize) -> Self {
+        Token {
+            kind,
+            start,
+            end,
+            body_start: start,
+            body_end: start,
+        }
+    }
+
+    fn literal(
+        kind: TokenKind,
+        start: usize,
+        end: usize,
+        body_start: usize,
+        body_end: usize,
+    ) -> Self {
+        Token {
+            kind,
+            start,
+            end,
+            body_start,
+            body_end,
+        }
+    }
+}
+
+/// Lex `src` into a contiguous, byte-covering token stream.
+pub fn lex(src: &str) -> Vec<Token> {
+    LEX_RUNS.with(|c| c.set(c.get() + 1));
+    let bytes = src.as_bytes();
+    let n = src.len();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let b = bytes[i];
+        let tok = if b == b'/' && src[i..].starts_with("//") {
+            let end = src[i..].find('\n').map(|o| i + o).unwrap_or(n);
+            Token::plain(TokenKind::LineComment, i, end)
+        } else if b == b'/' && src[i..].starts_with("/*") {
+            Token::plain(TokenKind::BlockComment, i, block_comment_end(src, i))
+        } else if first_char(src, i).is_whitespace() {
+            let mut j = i;
+            while j < n {
+                let c = first_char(src, j);
+                if !c.is_whitespace() {
+                    break;
+                }
+                j += c.len_utf8();
+            }
+            Token::plain(TokenKind::Whitespace, i, j)
+        } else if let Some(tok) = raw_string(src, i) {
+            tok
+        } else if b == b'b' && i + 1 < n && bytes[i + 1] == b'"' {
+            quoted_string(src, i, i + 1)
+        } else if b == b'"' {
+            quoted_string(src, i, i)
+        } else if b == b'b' && i + 1 < n && bytes[i + 1] == b'\'' {
+            char_or_lifetime(src, i, i + 1).unwrap_or_else(|| ident(src, i))
+        } else if b == b'\'' {
+            char_or_lifetime(src, i, i).unwrap_or(Token::plain(TokenKind::Punct(b'\''), i, i + 1))
+        } else if is_ident_start(first_char(src, i)) {
+            ident(src, i)
+        } else if b.is_ascii_digit() {
+            number(src, i)
+        } else if matches!(b, b'(' | b'[' | b'{') {
+            Token::plain(TokenKind::Open(b), i, i + 1)
+        } else if matches!(b, b')' | b']' | b'}') {
+            Token::plain(TokenKind::Close(b), i, i + 1)
+        } else {
+            Token::plain(TokenKind::Punct(b), i, i + first_char(src, i).len_utf8())
+        };
+        debug_assert!(tok.end > tok.start && tok.start == i);
+        i = tok.end;
+        out.push(tok);
+    }
+    out
+}
+
+/// Re-create the masked text view from the token stream: comments and
+/// literal *bodies* are blanked to spaces (newlines preserved so line
+/// numbers survive); quotes, raw-string fences, lifetimes, and all code
+/// bytes pass through untouched. This reproduces the semantics of the
+/// historical character-level masker, which the `scan` unit tests pin.
+pub fn masked_view(src: &str, tokens: &[Token]) -> String {
+    let mut out = src.as_bytes().to_vec();
+    for tok in tokens {
+        let (lo, hi) = match tok.kind {
+            TokenKind::LineComment | TokenKind::BlockComment => (tok.start, tok.end),
+            TokenKind::Str | TokenKind::Char => (tok.body_start, tok.body_end),
+            _ => continue,
+        };
+        for b in &mut out[lo..hi] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    }
+    // Masking only ever rewrites bytes to ASCII spaces, so the result
+    // stays valid UTF-8; fall back to the source if that ever breaks.
+    String::from_utf8(out).unwrap_or_else(|_| src.to_string())
+}
+
+fn first_char(src: &str, i: usize) -> char {
+    src[i..].chars().next().unwrap_or('\0')
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// End offset of a (possibly nested) block comment opened at `i`.
+fn block_comment_end(src: &str, i: usize) -> usize {
+    let bytes = src.as_bytes();
+    let n = src.len();
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < n {
+        if bytes[j] == b'/' && j + 1 < n && bytes[j + 1] == b'*' {
+            depth += 1;
+            j += 2;
+        } else if bytes[j] == b'*' && j + 1 < n && bytes[j + 1] == b'/' {
+            depth -= 1;
+            j += 2;
+            if depth == 0 {
+                return j;
+            }
+        } else {
+            j += 1;
+        }
+    }
+    n
+}
+
+/// Raw string (`r"…"`, `r#"…"#`) or raw byte string (`br…`), starting
+/// at `i`; also claims raw identifiers (`r#ident`) as `Ident`.
+fn raw_string(src: &str, i: usize) -> Option<Token> {
+    let bytes = src.as_bytes();
+    let n = src.len();
+    let mut j = i;
+    if bytes[j] == b'b' && j + 1 < n && bytes[j + 1] == b'r' {
+        j += 2;
+    } else if bytes[j] == b'r' {
+        j += 1;
+    } else {
+        return None;
+    }
+    let mut hashes = 0usize;
+    while j < n && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < n && bytes[j] == b'"' {
+        let body_start = j + 1;
+        let closer: String = std::iter::once('"')
+            .chain(std::iter::repeat_n('#', hashes))
+            .collect();
+        match src[body_start..].find(&closer) {
+            Some(off) => {
+                let body_end = body_start + off;
+                Some(Token::literal(
+                    TokenKind::Str,
+                    i,
+                    body_end + closer.len(),
+                    body_start,
+                    body_end,
+                ))
+            }
+            None => Some(Token::literal(TokenKind::Str, i, n, body_start, n)),
+        }
+    } else if bytes[i] == b'r' && hashes == 1 && j < n && is_ident_start(first_char(src, j)) {
+        // Raw identifier `r#ident`.
+        let mut k = j;
+        while k < n {
+            let c = first_char(src, k);
+            if !is_ident_continue(c) {
+                break;
+            }
+            k += c.len_utf8();
+        }
+        Some(Token::plain(TokenKind::Ident, i, k))
+    } else {
+        None
+    }
+}
+
+/// Plain or byte string literal; `quote` is the offset of the opening
+/// `"` (equal to `start` unless there is a `b` prefix).
+fn quoted_string(src: &str, start: usize, quote: usize) -> Token {
+    let bytes = src.as_bytes();
+    let n = src.len();
+    let body_start = quote + 1;
+    let mut j = body_start;
+    while j < n {
+        match bytes[j] {
+            b'\\' => j = (j + 2).min(n),
+            b'"' => return Token::literal(TokenKind::Str, start, j + 1, body_start, j),
+            _ => j += 1,
+        }
+    }
+    Token::literal(TokenKind::Str, start, n, body_start, n)
+}
+
+/// Disambiguate `'x'` / `'\n'` (char literal) from `'a` (lifetime).
+/// `quote` is the offset of the `'` (equal to `start` unless there is
+/// a `b` prefix). Returns `None` when a `b` prefix fails to form a
+/// byte-char literal, so the caller can fall back to lexing the `b` as
+/// an identifier.
+fn char_or_lifetime(src: &str, start: usize, quote: usize) -> Option<Token> {
+    let bytes = src.as_bytes();
+    let n = src.len();
+    let is_byte = quote > start;
+    let mut rest = src[quote + 1..].char_indices();
+    let (o1, c1) = rest.next()?;
+    let first = quote + 1 + o1;
+    if c1 == '\\' {
+        // Escaped char literal: skip the escape head, then scan to the
+        // closing quote (covers \n, \x7f, \u{…}, \'; bounded by EOF).
+        let mut j = (first + 2).min(n);
+        while j < n && bytes[j] != b'\'' {
+            j += 1;
+        }
+        if j < n {
+            return Some(Token::literal(TokenKind::Char, start, j + 1, quote + 1, j));
+        }
+        return if is_byte {
+            None
+        } else {
+            Some(Token::plain(TokenKind::Punct(b'\''), quote, quote + 1))
+        };
+    }
+    let after = first + c1.len_utf8();
+    if after < n && bytes[after] == b'\'' {
+        return Some(Token::literal(
+            TokenKind::Char,
+            start,
+            after + 1,
+            quote + 1,
+            after,
+        ));
+    }
+    if !is_byte && is_ident_start(c1) {
+        let mut k = after;
+        while k < n {
+            let c = first_char(src, k);
+            if !is_ident_continue(c) {
+                break;
+            }
+            k += c.len_utf8();
+        }
+        return Some(Token::plain(TokenKind::Lifetime, quote, k));
+    }
+    if is_byte {
+        None
+    } else {
+        Some(Token::plain(TokenKind::Punct(b'\''), quote, quote + 1))
+    }
+}
+
+fn ident(src: &str, i: usize) -> Token {
+    let n = src.len();
+    let mut j = i;
+    while j < n {
+        let c = first_char(src, j);
+        if !is_ident_continue(c) {
+            break;
+        }
+        j += c.len_utf8();
+    }
+    Token::plain(TokenKind::Ident, i, j)
+}
+
+/// Numeric literal: digits, `_`, suffix letters, a `.` only when a
+/// digit follows (so `0..5` and `1.max(2)` split correctly), and a
+/// sign directly after an exponent `e`/`E`.
+fn number(src: &str, i: usize) -> Token {
+    let bytes = src.as_bytes();
+    let n = src.len();
+    let mut j = i;
+    while j < n {
+        let b = bytes[j];
+        let dot_in_float = b == b'.' && j + 1 < n && bytes[j + 1].is_ascii_digit();
+        let exponent_sign =
+            (b == b'+' || b == b'-') && j > i && matches!(bytes[j - 1], b'e' | b'E');
+        if b.is_ascii_alphanumeric() || b == b'_' || dot_in_float || exponent_sign {
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    Token::plain(TokenKind::Num, i, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rebuild(src: &str) -> String {
+        lex(src).iter().map(|t| &src[t.start..t.end]).collect()
+    }
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn spans_are_contiguous_and_cover_the_source() {
+        let src = "fn main() { let s = \"a\\\"b\"; /* hi /* nest */ */ let c = 'x'; }\n";
+        let toks = lex(src);
+        let mut pos = 0;
+        for t in &toks {
+            assert_eq!(t.start, pos);
+            assert!(t.end > t.start);
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len());
+        assert_eq!(rebuild(src), src);
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_disambiguate() {
+        let toks = kinds("<'a, 'static> 'x' b'y' '\\n' '\\u{1F600}'");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Punct(b'<'),
+                TokenKind::Lifetime,
+                TokenKind::Punct(b','),
+                TokenKind::Lifetime,
+                TokenKind::Punct(b'>'),
+                TokenKind::Char,
+                TokenKind::Char,
+                TokenKind::Char,
+                TokenKind::Char,
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_and_byte_strings_have_body_ranges() {
+        let src = "r#\"ab\"cd\"# b\"x\" br##\"y\"##";
+        let toks: Vec<Token> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(toks.len(), 3);
+        assert_eq!(&src[toks[0].body_start..toks[0].body_end], "ab\"cd");
+        assert_eq!(&src[toks[1].body_start..toks[1].body_end], "x");
+        assert_eq!(&src[toks[2].body_start..toks[2].body_end], "y");
+        assert_eq!(rebuild(src), src);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let toks = kinds("r#fn r#loop x");
+        assert_eq!(
+            toks,
+            vec![TokenKind::Ident, TokenKind::Ident, TokenKind::Ident]
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_method_calls() {
+        let src = "0..5 1.max(2) 1.5e-3 0xFF_u32";
+        let toks: Vec<(TokenKind, &str)> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, &src[t.start..t.end]))
+            .collect();
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Num)
+            .map(|(_, s)| *s)
+            .collect();
+        assert_eq!(nums, vec!["0", "5", "1", "2", "1.5e-3", "0xFF_u32"]);
+    }
+
+    #[test]
+    fn masked_view_blanks_comments_and_literal_bodies() {
+        let src = "let s = \"secret\"; // note\nlet c = 'q'; /* b */ let l: &'a str;\n";
+        let toks = lex(src);
+        let masked = masked_view(src, &toks);
+        assert_eq!(masked.len(), src.len());
+        assert!(!masked.contains("secret"));
+        assert!(!masked.contains("note"));
+        assert!(!masked.contains('q'));
+        assert!(masked.contains("\"      \""), "quotes survive masking");
+        assert!(masked.contains("'a"), "lifetimes survive masking");
+        assert_eq!(masked.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn unterminated_constructs_clamp_to_eof() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'\\n", "b'"] {
+            assert_eq!(rebuild(src), src, "roundtrip failed for {src:?}");
+        }
+    }
+}

@@ -12,12 +12,17 @@
 //!
 //! Architecture: [`Workspace`] is an immutable snapshot of the source
 //! tree (loadable from disk or from memory, so every rule is testable
-//! against tiny fixtures); [`scan::SourceFile`] masks comments and
-//! string literals and tracks `#[cfg(test)]` regions; [`rules`] holds
-//! one function per rule ID. Findings flow through inline suppressions
-//! (`// skq-lint: allow(Lxx) <justification>`) and the checked-in
-//! baseline (`lint-baseline.txt`) before they fail the build.
+//! against tiny fixtures); [`lex`] turns each file into a lossless,
+//! span-accurate token stream exactly once; [`scan::SourceFile`] derives
+//! the masked text view from the tokens and tracks `#[cfg(test)]`
+//! regions; [`rules`] holds one function per line-oriented rule ID and
+//! [`conc`] the token-level concurrency pass (L15–L18). Findings flow
+//! through inline suppressions (`// skq-lint: allow(Lxx)
+//! <justification>`) and the checked-in baseline (`lint-baseline.txt`)
+//! before they fail the build.
 
+pub mod conc;
+pub mod lex;
 pub mod rules;
 pub mod scan;
 
@@ -28,6 +33,15 @@ use std::io;
 use std::path::Path;
 
 use scan::SourceFile;
+
+/// Version of the rule set / engine, embedded in `--json` output so
+/// downstream consumers (CI artifacts, dashboards) can tell which
+/// contract produced a findings file. Bump when rules are added,
+/// removed, or change meaning.
+///
+/// History: 1 = masked-line engine, L01–L14; 2 = token-stream engine,
+/// L01–L18.
+pub const RULE_VERSION: u32 = 2;
 
 /// One diagnostic produced by a rule.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -246,10 +260,10 @@ impl Baseline {
     }
 }
 
-/// Renders findings as a JSON array (hand-rolled; the crate is
-/// dependency-free by design).
+/// Renders findings as a JSON object `{"rule_version": N, "findings":
+/// [...]}` (hand-rolled; the crate is dependency-free by design).
 pub fn render_json(findings: &[Finding]) -> String {
-    let mut out = String::from("[");
+    let mut out = format!("{{\"rule_version\":{RULE_VERSION},\"findings\":[");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -266,7 +280,7 @@ pub fn render_json(findings: &[Finding]) -> String {
     if !findings.is_empty() {
         out.push('\n');
     }
-    out.push_str("]\n");
+    out.push_str("]}\n");
     out
 }
 
@@ -352,6 +366,8 @@ mod tests {
         };
         let json = render_json(&[f]);
         assert!(json.contains("\\\"x\\\""));
-        assert!(json.starts_with('['));
+        assert!(json.starts_with("{\"rule_version\":"));
+        assert!(json.contains(&format!("\"rule_version\":{RULE_VERSION}")));
+        assert!(json.contains("\"findings\":["));
     }
 }

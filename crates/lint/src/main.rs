@@ -8,6 +8,7 @@
 //! cargo run -p skq-lint -- --json        # machine-readable findings
 //! cargo run -p skq-lint -- --github      # GitHub Actions annotations
 //! cargo run -p skq-lint -- --list        # rule registry
+//! cargo run -p skq-lint -- --lock-graph out.dot   # export lock-order graph
 //! cargo run -p skq-lint -- --root <dir> --baseline <file>
 //! ```
 
@@ -22,6 +23,7 @@ struct Options {
     json: bool,
     github: bool,
     list: bool,
+    lock_graph: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -31,6 +33,7 @@ fn parse_args() -> Result<Options, String> {
         json: false,
         github: false,
         list: false,
+        lock_graph: None,
     };
     let mut baseline_set = false;
     let mut args = std::env::args().skip(1);
@@ -45,6 +48,11 @@ fn parse_args() -> Result<Options, String> {
             "--baseline" => {
                 opts.baseline = PathBuf::from(args.next().ok_or("--baseline needs a file")?);
                 baseline_set = true;
+            }
+            "--lock-graph" => {
+                opts.lock_graph = Some(PathBuf::from(
+                    args.next().ok_or("--lock-graph needs an output path")?,
+                ));
             }
             other => return Err(format!("unknown argument `{other}` (see --list)")),
         }
@@ -83,6 +91,15 @@ fn main() -> ExitCode {
         Ok(text) => Baseline::parse(&text),
         Err(_) => Baseline::default(), // no baseline file = empty baseline
     };
+
+    if let Some(out) = &opts.lock_graph {
+        let dot = skq_lint::conc::lock_graph(&ws).render_dot();
+        if let Err(e) = std::fs::write(out, dot) {
+            eprintln!("skq-lint: cannot write lock graph {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("skq-lint: lock-order graph written to {}", out.display());
+    }
 
     let raw = run_rules(&ws);
     let (active, suppressed) = apply_suppressions(&ws, raw);

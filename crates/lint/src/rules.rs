@@ -84,6 +84,26 @@ pub const RULES: &[(&str, &str, RuleFn)] = &[
         "every fail-point site in SITES appears in DESIGN.md's fail-point table",
         l14_failpoint_sites_documented,
     ),
+    (
+        "L15",
+        "no cycles in the inter-crate lock-order graph (deadlock risk; see --lock-graph)",
+        crate::conc::lock_order_cycles,
+    ),
+    (
+        "L16",
+        "Ordering::Relaxed needs an inline `// relaxed: <reason>`; Release stores need an Acquire read on the same field",
+        crate::conc::atomic_discipline,
+    ),
+    (
+        "L17",
+        "Condvar::wait/wait_timeout must sit inside a predicate-re-checking loop",
+        crate::conc::condvar_wait_in_loop,
+    ),
+    (
+        "L18",
+        "no .lock().unwrap() outside tests — recover poisoned guards with PoisonError::into_inner",
+        crate::conc::lock_unwrap_ban,
+    ),
 ];
 
 /// Modules on the request path: panics here would take down a serving

@@ -1,15 +1,19 @@
-//! Source modelling: comment/string masking and `#[cfg(test)]` region
-//! tracking.
+//! Source modelling: the lexed token stream, the masked text view
+//! derived from it, and `#[cfg(test)]` region tracking.
 //!
-//! The rule engine never parses Rust properly — it works on a *masked*
-//! view of each file in which comment bodies and string/char literal
-//! contents are replaced by spaces (newlines preserved), so token
-//! searches cannot match inside prose or literals, plus a per-line
-//! `is_test` bitmap so rules can skip `#[cfg(test)]` modules and
-//! functions. This is deliberately lighter than a real parser: every
-//! rule here is a *policy* check over a handful of easily recognized
-//! tokens, and the masking layer is the only part that needs to
+//! Each file is lexed exactly once (see [`crate::lex`]); everything the
+//! rules consume is a view over that one token stream. The line-oriented
+//! rules L01–L14 work on the *masked* text — comment bodies and
+//! string/char literal contents replaced by spaces (newlines preserved),
+//! so token searches cannot match inside prose or literals — while the
+//! concurrency pass (L15–L18, [`crate::conc`]) walks the tokens
+//! directly. A per-line `is_test` bitmap lets rules skip `#[cfg(test)]`
+//! modules and functions. This is deliberately lighter than a real
+//! parser: every rule here is a *policy* check over a handful of easily
+//! recognized tokens, and the lexer is the only part that needs to
 //! understand Rust's lexical grammar.
+
+use crate::lex::{self, Token, TokenKind};
 
 /// One scanned source file.
 #[derive(Debug)]
@@ -20,7 +24,11 @@ pub struct SourceFile {
     /// The raw text, used for extracting literal contents (metric
     /// names, fail-point sites) and suppression comments.
     pub raw: String,
-    /// Same length as `raw`: comments and literal contents blanked.
+    /// The lossless token stream over `raw` — shared by every rule;
+    /// lexed once per file per run.
+    pub tokens: Vec<Token>,
+    /// Same length as `raw`: comments and literal contents blanked
+    /// (a view computed from `tokens`).
     pub masked: String,
     /// Byte offset of the start of each line (index 0 = line 1).
     pub line_starts: Vec<usize>,
@@ -30,10 +38,12 @@ pub struct SourceFile {
 }
 
 impl SourceFile {
-    /// Scans `raw` into a masked model. `force_test` marks every line
-    /// as test code (integration tests, benches, fixtures).
+    /// Lexes `raw` once and derives the masked model. `force_test`
+    /// marks every line as test code (integration tests, benches,
+    /// fixtures).
     pub fn new(path: String, raw: String, force_test: bool) -> Self {
-        let masked = mask(&raw);
+        let tokens = lex::lex(&raw);
+        let masked = lex::masked_view(&raw, &tokens);
         let line_starts = line_starts(&raw);
         let test_lines = if force_test {
             vec![true; line_starts.len()]
@@ -43,6 +53,7 @@ impl SourceFile {
         Self {
             path,
             raw,
+            tokens,
             masked,
             line_starts,
             test_lines,
@@ -81,6 +92,47 @@ impl SourceFile {
     pub fn masked_offsets(&self, token: &str) -> Vec<usize> {
         offsets_of(&self.masked, token)
     }
+
+    /// The comment text attached to 1-based `line`: every comment token
+    /// on `line` itself (trailing comments), plus the contiguous block
+    /// of full-line comments directly above it, joined by newlines.
+    /// This is how the concurrency rules read justification comments
+    /// (`// relaxed: <reason>` — the reason may span a multi-line
+    /// comment block as long as the block touches the site).
+    pub fn comments_near(&self, line: usize) -> String {
+        // Full-line comments (nothing but whitespace before them) by
+        // starting line, and trailing comments on `line` itself.
+        let mut full_line: std::collections::BTreeMap<usize, &str> =
+            std::collections::BTreeMap::new();
+        let mut on_line = Vec::new();
+        for tok in &self.tokens {
+            if !matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+                continue;
+            }
+            let (tok_line, _) = self.position(tok.start);
+            let text = &self.raw[tok.start..tok.end];
+            if tok_line == line {
+                on_line.push(text);
+            } else if tok_line < line {
+                let start = self.line_starts[tok_line - 1];
+                if self.raw[start..tok.start].trim().is_empty() {
+                    full_line.insert(tok_line, text);
+                }
+            }
+        }
+        let mut block = Vec::new();
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            match full_line.get(&l) {
+                Some(text) => block.push(*text),
+                None => break,
+            }
+        }
+        block.reverse();
+        block.extend(on_line);
+        block.join("\n")
+    }
 }
 
 /// Every start offset of `token` in `text`.
@@ -105,155 +157,6 @@ fn line_starts(raw: &str) -> Vec<usize> {
         starts.pop();
     }
     starts
-}
-
-/// Replaces comment bodies and string/char literal contents with
-/// spaces, preserving length and newlines. Handles line and (nested)
-/// block comments, plain/byte strings with escapes, raw strings with
-/// `#` fences, char literals, and leaves lifetimes (`'a`) alone.
-fn mask(raw: &str) -> String {
-    let bytes = raw.as_bytes();
-    let mut out: Vec<u8> = bytes.to_vec();
-    let mut i = 0usize;
-    let n = bytes.len();
-
-    let blank = |out: &mut Vec<u8>, from: usize, to: usize| {
-        for item in out.iter_mut().take(to).skip(from) {
-            if *item != b'\n' {
-                *item = b' ';
-            }
-        }
-    };
-
-    while i < n {
-        let b = bytes[i];
-        match b {
-            b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
-                let end = raw[i..].find('\n').map(|e| i + e).unwrap_or(n);
-                blank(&mut out, i, end);
-                i = end;
-            }
-            b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
-                let mut depth = 1usize;
-                let mut j = i + 2;
-                while j < n && depth > 0 {
-                    if j + 1 < n && bytes[j] == b'/' && bytes[j + 1] == b'*' {
-                        depth += 1;
-                        j += 2;
-                    } else if j + 1 < n && bytes[j] == b'*' && bytes[j + 1] == b'/' {
-                        depth -= 1;
-                        j += 2;
-                    } else {
-                        j += 1;
-                    }
-                }
-                blank(&mut out, i, j);
-                i = j;
-            }
-            b'r' | b'b' if is_raw_string_start(bytes, i) => {
-                let (hash_count, quote) = raw_string_open(bytes, i);
-                let body = quote + 1;
-                let closer: String = std::iter::once('"')
-                    .chain("#".repeat(hash_count).chars())
-                    .collect();
-                let end = raw[body..]
-                    .find(&closer)
-                    .map(|e| body + e)
-                    .unwrap_or(n.saturating_sub(closer.len()));
-                blank(&mut out, body, end);
-                i = end + closer.len();
-            }
-            b'"' => {
-                let mut j = i + 1;
-                while j < n {
-                    match bytes[j] {
-                        b'\\' => j += 2,
-                        b'"' => break,
-                        _ => j += 1,
-                    }
-                }
-                blank(&mut out, i + 1, j.min(n));
-                i = (j + 1).min(n);
-            }
-            b'\'' => {
-                if let Some(end) = char_literal_end(bytes, i) {
-                    blank(&mut out, i + 1, end);
-                    i = end + 1;
-                } else {
-                    i += 1; // a lifetime: leave it
-                }
-            }
-            _ => i += 1,
-        }
-    }
-    // SAFETY-free conversion: we only wrote ASCII spaces over bytes.
-    String::from_utf8(out).unwrap_or_else(|_| raw.to_string())
-}
-
-/// `r"…"`, `r#"…"#`, `br"…"`, `b"…"` starts (byte strings share the
-/// plain-string escape path via the `b'"'` arm unless raw).
-fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
-    // Not part of an identifier like `for` or `br`oken names.
-    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
-        return false;
-    }
-    let mut j = i;
-    if bytes[j] == b'b' {
-        j += 1;
-    }
-    if j >= bytes.len() || bytes[j] != b'r' {
-        return false;
-    }
-    j += 1;
-    while j < bytes.len() && bytes[j] == b'#' {
-        j += 1;
-    }
-    j < bytes.len() && bytes[j] == b'"'
-}
-
-/// Returns `(hash_count, quote_offset)` for a raw-string opener at `i`.
-fn raw_string_open(bytes: &[u8], i: usize) -> (usize, usize) {
-    let mut j = i;
-    if bytes[j] == b'b' {
-        j += 1;
-    }
-    j += 1; // the `r`
-    let mut hashes = 0usize;
-    while j < bytes.len() && bytes[j] == b'#' {
-        hashes += 1;
-        j += 1;
-    }
-    (hashes, j)
-}
-
-/// If a char literal starts at `i` (a `'`), returns the offset of the
-/// closing quote; `None` for lifetimes.
-fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
-    let n = bytes.len();
-    if i + 2 >= n {
-        return None;
-    }
-    if bytes[i + 1] == b'\\' {
-        // Escaped char: scan to the closing quote (bounded).
-        let mut j = i + 2;
-        while j < n && j < i + 12 {
-            if bytes[j] == b'\'' {
-                return Some(j);
-            }
-            j += 1;
-        }
-        return None;
-    }
-    // `'x'` for any single byte x (multibyte chars: find the quote
-    // within a small window).
-    let mut j = i + 1;
-    while j < n && j <= i + 5 {
-        if bytes[j] == b'\'' && j > i + 1 {
-            return Some(j);
-        }
-        j += 1;
-    }
-    None
 }
 
 /// Marks lines inside `#[cfg(test)]`-gated items by walking the masked
@@ -363,5 +266,14 @@ mod tests {
         assert_eq!(f.position(4), (2, 1));
         assert_eq!(f.position(6), (2, 3));
         assert_eq!(f.line_text(2), "def");
+    }
+
+    #[test]
+    fn comments_near_attaches_same_line_and_line_above() {
+        let src = "// relaxed: counter only\nx.load(Ordering::Relaxed);\ny(); // trailing note\n";
+        let f = SourceFile::new("t.rs".into(), src.into(), false);
+        assert!(f.comments_near(2).contains("relaxed: counter only"));
+        assert!(f.comments_near(3).contains("trailing note"));
+        assert!(f.comments_near(1).contains("relaxed"));
     }
 }

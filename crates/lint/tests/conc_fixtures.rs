@@ -1,0 +1,300 @@
+//! Fixture tests for the concurrency audit rules L15–L18: each rule
+//! has at least one firing fixture and one clean fixture, exercised
+//! through the same in-memory `Workspace` entry point the engine uses.
+
+use skq_lint::{run_rules, Finding, Workspace};
+
+fn lint(sources: &[(&str, &str)]) -> Vec<Finding> {
+    run_rules(&Workspace::from_memory(sources))
+}
+
+fn only_rule<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+// ---------------------------------------------------------------- L15
+
+/// Two functions acquiring the same pair of locks in opposite orders —
+/// the textbook deadlock — must produce exactly one cycle finding.
+#[test]
+fn l15_fires_on_a_two_lock_cycle() {
+    let src = concat!(
+        "pub fn forward(&self) {\n",
+        "    let a = self.alpha.lock();\n",
+        "    let b = self.beta.lock();\n",
+        "    drop(b);\n",
+        "    drop(a);\n",
+        "}\n",
+        "pub fn backward(&self) {\n",
+        "    let b = self.beta.lock();\n",
+        "    let a = self.alpha.lock();\n",
+        "    drop(a);\n",
+        "    drop(b);\n",
+        "}\n",
+    );
+    let findings = lint(&[("crates/x/src/a.rs", src)]);
+    let hits = only_rule(&findings, "L15");
+    assert_eq!(hits.len(), 1, "{findings:?}");
+    assert!(hits[0].message.contains("alpha"));
+    assert!(hits[0].message.contains("beta"));
+}
+
+/// The cycle is found even when the two halves live in different
+/// crates — lock identity is the field name, workspace-wide.
+#[test]
+fn l15_sees_cross_crate_cycles() {
+    let forward =
+        "pub fn f(&self) { let a = self.alpha.lock(); let _b = self.beta.lock(); drop(a); }\n";
+    let backward =
+        "pub fn g(&self) { let b = self.beta.lock(); let _a = self.alpha.lock(); drop(b); }\n";
+    let findings = lint(&[
+        ("crates/x/src/a.rs", forward),
+        ("crates/y/src/b.rs", backward),
+    ]);
+    assert_eq!(only_rule(&findings, "L15").len(), 1, "{findings:?}");
+}
+
+/// Consistent acquisition order is clean, as is nesting under a single
+/// outer lock (a tree-shaped order has no cycles).
+#[test]
+fn l15_clean_on_consistent_order() {
+    let src = concat!(
+        "pub fn f(&self) { let a = self.alpha.lock(); let _b = self.beta.lock(); drop(a); }\n",
+        "pub fn g(&self) { let a = self.alpha.lock(); let _c = self.gamma.lock(); drop(a); }\n",
+    );
+    let findings = lint(&[("crates/x/src/a.rs", src)]);
+    assert!(only_rule(&findings, "L15").is_empty(), "{findings:?}");
+}
+
+/// Striped locks re-acquire same-named siblings by design; self-edges
+/// must not be reported as cycles.
+#[test]
+fn l15_ignores_striped_self_acquisition() {
+    let src = concat!(
+        "pub fn drain(&self) {\n",
+        "    for stripe in &self.stripes {\n",
+        "        let g = self.stripes.lock();\n",
+        "        let h = self.stripes.lock();\n",
+        "        drop(h);\n",
+        "        drop(g);\n",
+        "    }\n",
+        "}\n",
+    );
+    let findings = lint(&[("crates/x/src/a.rs", src)]);
+    assert!(only_rule(&findings, "L15").is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------- L16
+
+#[test]
+fn l16_fires_on_unjustified_relaxed() {
+    let src = "pub fn f(c: &AtomicU64) -> u64 { c.load(Ordering::Relaxed) }\n";
+    let findings = lint(&[("crates/x/src/a.rs", src)]);
+    assert_eq!(only_rule(&findings, "L16").len(), 1, "{findings:?}");
+}
+
+#[test]
+fn l16_clean_with_relaxed_justification_comment() {
+    let same_line =
+        "pub fn f(c: &AtomicU64) -> u64 { c.load(Ordering::Relaxed) } // relaxed: counter only\n";
+    let line_above = concat!(
+        "pub fn f(c: &AtomicU64) -> u64 {\n",
+        "    // relaxed: monotonic counter; readers tolerate skew\n",
+        "    c.load(Ordering::Relaxed)\n",
+        "}\n",
+    );
+    // A multi-line comment block counts as long as it touches the
+    // site — the `relaxed:` marker may sit on its first line.
+    let block_above = concat!(
+        "pub fn f(c: &AtomicU64) -> u64 {\n",
+        "    // relaxed: monotonic counter; readers snapshot it without\n",
+        "    // a lock and tolerate lag\n",
+        "    c.load(Ordering::Relaxed)\n",
+        "}\n",
+    );
+    for src in [same_line, line_above, block_above] {
+        let findings = lint(&[("crates/x/src/a.rs", src)]);
+        assert!(only_rule(&findings, "L16").is_empty(), "{findings:?}");
+    }
+}
+
+/// A comment block separated from the site by a code line does not
+/// justify it — the block must touch the `Relaxed` line.
+#[test]
+fn l16_detached_comment_block_does_not_count() {
+    let src = concat!(
+        "pub fn f(c: &AtomicU64) -> u64 {\n",
+        "    // relaxed: this block is detached\n",
+        "    let _unrelated = 1;\n",
+        "    c.load(Ordering::Relaxed)\n",
+        "}\n",
+    );
+    let findings = lint(&[("crates/x/src/a.rs", src)]);
+    assert_eq!(only_rule(&findings, "L16").len(), 1, "{findings:?}");
+}
+
+/// A `relaxed:` marker with no reason after the colon justifies
+/// nothing, mirroring the suppression-comment contract.
+#[test]
+fn l16_empty_justification_does_not_count() {
+    let src = "pub fn f(c: &AtomicU64) -> u64 { c.load(Ordering::Relaxed) } // relaxed:\n";
+    let findings = lint(&[("crates/x/src/a.rs", src)]);
+    assert_eq!(only_rule(&findings, "L16").len(), 1, "{findings:?}");
+}
+
+#[test]
+fn l16_fires_on_release_store_without_acquire_load() {
+    let src = concat!(
+        "pub fn publish(&self) {\n",
+        "    self.epoch.store(1, Ordering::Release);\n",
+        "}\n",
+        "pub fn read(&self) -> u64 {\n",
+        "    // relaxed: fixture read\n",
+        "    self.epoch.load(Ordering::Relaxed)\n",
+        "}\n",
+    );
+    let findings = lint(&[("crates/x/src/a.rs", src)]);
+    let hits = only_rule(&findings, "L16");
+    assert_eq!(hits.len(), 1, "{findings:?}");
+    assert!(hits[0].message.contains("epoch"), "{}", hits[0].message);
+}
+
+#[test]
+fn l16_clean_when_release_store_pairs_with_acquire_load() {
+    let src = concat!(
+        "pub fn publish(&self) { self.epoch.store(1, Ordering::Release); }\n",
+        "pub fn read(&self) -> u64 { self.epoch.load(Ordering::Acquire) }\n",
+    );
+    let findings = lint(&[("crates/x/src/a.rs", src)]);
+    assert!(only_rule(&findings, "L16").is_empty(), "{findings:?}");
+}
+
+/// An acquiring RMW (e.g. `fetch_update(AcqRel, ..)`) satisfies the
+/// read side of the pair, and the pairing is tracked per field.
+#[test]
+fn l16_acquiring_rmw_counts_and_pairing_is_per_field() {
+    let src = concat!(
+        "pub fn f(&self) { self.slots.store(1, Ordering::Release); }\n",
+        "pub fn g(&self) { let _ = self.slots.fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| Some(v)); }\n",
+        "pub fn h(&self) { self.other.store(1, Ordering::Release); }\n",
+    );
+    let findings = lint(&[("crates/x/src/a.rs", src)]);
+    let hits = only_rule(&findings, "L16");
+    assert_eq!(hits.len(), 1, "{findings:?}");
+    assert!(hits[0].message.contains("other"), "{}", hits[0].message);
+}
+
+// ---------------------------------------------------------------- L17
+
+#[test]
+fn l17_fires_on_unlooped_condvar_wait() {
+    let src = concat!(
+        "pub fn park(&self) {\n",
+        "    let guard = self.jobs.lock().unwrap_or_else(PoisonError::into_inner);\n",
+        "    let _guard = self.cv.wait(guard);\n",
+        "}\n",
+    );
+    let findings = lint(&[("crates/x/src/a.rs", src)]);
+    assert_eq!(only_rule(&findings, "L17").len(), 1, "{findings:?}");
+}
+
+#[test]
+fn l17_fires_on_unlooped_wait_timeout() {
+    let src = concat!(
+        "pub fn park(&self) {\n",
+        "    let guard = self.jobs.lock().unwrap_or_else(PoisonError::into_inner);\n",
+        "    let _r = self.cv.wait_timeout(guard, TICK);\n",
+        "}\n",
+    );
+    let findings = lint(&[("crates/x/src/a.rs", src)]);
+    assert_eq!(only_rule(&findings, "L17").len(), 1, "{findings:?}");
+}
+
+#[test]
+fn l17_clean_inside_loop_and_while() {
+    let src = concat!(
+        "pub fn park(&self) {\n",
+        "    let mut guard = self.jobs.lock().unwrap_or_else(PoisonError::into_inner);\n",
+        "    loop {\n",
+        "        if !guard.is_empty() { break; }\n",
+        "        guard = self.cv.wait(guard).unwrap_or_else(PoisonError::into_inner);\n",
+        "    }\n",
+        "    while guard.is_empty() {\n",
+        "        let (g, _t) = self.cv.wait_timeout(guard, TICK).unwrap_or_else(|e| e.into_inner());\n",
+        "        guard = g;\n",
+        "    }\n",
+        "}\n",
+    );
+    let findings = lint(&[("crates/x/src/a.rs", src)]);
+    assert!(only_rule(&findings, "L17").is_empty(), "{findings:?}");
+}
+
+/// Nullary `.wait()` is not `Condvar::wait` (which always takes the
+/// guard) — completion handles must not be flagged.
+#[test]
+fn l17_ignores_nullary_wait() {
+    let src = "pub fn f(&self, req: Request) -> Response { self.submit(req).wait() }\n";
+    let findings = lint(&[("crates/x/src/a.rs", src)]);
+    assert!(only_rule(&findings, "L17").is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------- L18
+
+#[test]
+fn l18_fires_on_lock_unwrap_and_expect() {
+    let src = concat!(
+        "pub fn f(&self) -> u64 { *self.state.lock().unwrap() }\n",
+        "pub fn g(&self) -> u64 { *self.state.read().expect(\"poisoned\") }\n",
+    );
+    let findings = lint(&[("crates/x/src/a.rs", src)]);
+    assert_eq!(only_rule(&findings, "L18").len(), 2, "{findings:?}");
+}
+
+#[test]
+fn l18_clean_with_into_inner_idiom() {
+    let src = concat!(
+        "pub fn f(&self) -> u64 { *self.state.lock().unwrap_or_else(PoisonError::into_inner) }\n",
+        "pub fn g(&self) -> u64 { *self.state.write().unwrap_or_else(PoisonError::into_inner) }\n",
+    );
+    let findings = lint(&[("crates/x/src/a.rs", src)]);
+    assert!(only_rule(&findings, "L18").is_empty(), "{findings:?}");
+}
+
+/// Test code may unwrap freely: a poisoned lock in a test *should*
+/// fail loudly.
+#[test]
+fn l18_exempts_test_code() {
+    let in_test_mod = concat!(
+        "pub fn prod() {}\n",
+        "#[cfg(test)]\n",
+        "mod tests {\n",
+        "    fn t(&self) -> u64 { *self.state.lock().unwrap() }\n",
+        "}\n",
+    );
+    let findings = lint(&[
+        ("crates/x/src/a.rs", in_test_mod),
+        (
+            "crates/x/tests/t.rs",
+            "fn t(&self) -> u64 { *self.state.lock().unwrap() }\n",
+        ),
+    ]);
+    assert!(only_rule(&findings, "L18").is_empty(), "{findings:?}");
+}
+
+// ------------------------------------------------------- suppressions
+
+/// The concurrency rules flow through the same inline-suppression
+/// machinery as every other rule.
+#[test]
+fn conc_rules_honour_justified_suppressions() {
+    let src = concat!(
+        "pub fn f(&self) -> u64 {\n",
+        "    // skq-lint: allow(L18) fixture: exercising the suppression path\n",
+        "    *self.state.lock().unwrap()\n",
+        "}\n",
+    );
+    let ws = Workspace::from_memory(&[("crates/x/src/a.rs", src)]);
+    let (active, suppressed) = skq_lint::apply_suppressions(&ws, run_rules(&ws));
+    assert!(only_rule(&active, "L18").is_empty(), "{active:?}");
+    assert_eq!(only_rule(&suppressed, "L18").len(), 1);
+}

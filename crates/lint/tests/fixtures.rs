@@ -299,13 +299,41 @@ fn inline_suppression_needs_justification() {
 
 #[test]
 fn every_rule_id_is_covered_by_a_fixture() {
-    // Meta-check: the registry and this file must grow together.
+    // Meta-check: the registry and the fixture files must grow
+    // together (L01–L14 here, L15–L18 in tests/conc_fixtures.rs).
     let covered = [
         "L01", "L02", "L03", "L04", "L05", "L06", "L07", "L08", "L09", "L10", "L11", "L12", "L13",
-        "L14",
+        "L14", "L15", "L16", "L17", "L18",
     ];
     for (id, _, _) in skq_lint::rules::RULES {
         assert!(covered.contains(id), "rule {id} has no fixture test");
     }
     assert_eq!(covered.len(), skq_lint::rules::RULES.len());
+}
+
+#[test]
+fn each_file_is_lexed_exactly_once_per_run() {
+    // The rules all share one token stream per file: constructing a
+    // workspace lexes each file once, and running every rule (twice)
+    // must not lex anything again.
+    let sources: &[(&str, &str)] = &[
+        ("crates/a/src/x.rs", "pub fn a() -> u32 { 1 }\n"),
+        ("crates/a/src/y.rs", "pub fn b() -> u32 { 2 }\n"),
+        ("crates/b/src/z.rs", "pub fn c() -> u32 { 3 }\n"),
+    ];
+    let before = skq_lint::lex::lex_runs();
+    let ws = Workspace::from_memory(sources);
+    let after_load = skq_lint::lex::lex_runs();
+    assert_eq!(
+        after_load - before,
+        sources.len(),
+        "workspace construction lexes each file exactly once"
+    );
+    let _ = skq_lint::run_rules(&ws);
+    let _ = skq_lint::run_rules(&ws);
+    assert_eq!(
+        skq_lint::lex::lex_runs(),
+        after_load,
+        "running the rules must reuse the shared token streams, not re-lex"
+    );
 }

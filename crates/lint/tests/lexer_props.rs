@@ -1,0 +1,110 @@
+//! The lexer's load-bearing property: the token stream is lossless.
+//! Concatenating token spans reproduces the source byte-for-byte, and
+//! spans are contiguous with no gaps or overlaps — checked over every
+//! `.rs` file in the workspace, so any construct the real codebase
+//! uses that the lexer mishandles fails here immediately.
+
+use std::path::Path;
+
+use skq_lint::lex::{lex, masked_view, TokenKind};
+use skq_lint::Workspace;
+
+#[test]
+fn token_spans_reproduce_every_workspace_file_byte_for_byte() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = Workspace::load(&root).expect("load workspace");
+    assert!(
+        ws.files.len() > 40,
+        "workspace scan looks truncated: {} files",
+        ws.files.len()
+    );
+    for file in &ws.files {
+        let rebuilt: String = file
+            .tokens
+            .iter()
+            .map(|t| &file.raw[t.start..t.end])
+            .collect();
+        assert_eq!(
+            rebuilt, file.raw,
+            "lossless lexing failed for {}",
+            file.path
+        );
+        let mut pos = 0;
+        for t in &file.tokens {
+            assert_eq!(t.start, pos, "gap/overlap at byte {pos} in {}", file.path);
+            assert!(
+                t.end > t.start,
+                "empty token at byte {pos} in {}",
+                file.path
+            );
+            assert!(
+                t.body_start >= t.start && t.body_end <= t.end && t.body_start <= t.body_end,
+                "body range escapes its token in {}",
+                file.path
+            );
+            pos = t.end;
+        }
+        assert_eq!(pos, file.raw.len(), "tokens stop early in {}", file.path);
+    }
+}
+
+#[test]
+fn masked_view_is_length_and_newline_preserving_workspace_wide() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = Workspace::load(&root).expect("load workspace");
+    for file in &ws.files {
+        assert_eq!(
+            file.masked.len(),
+            file.raw.len(),
+            "masking changed length of {}",
+            file.path
+        );
+        assert_eq!(
+            file.masked.matches('\n').count(),
+            file.raw.matches('\n').count(),
+            "masking changed line count of {}",
+            file.path
+        );
+    }
+}
+
+/// Adversarial snippets: constructs that historically break ad-hoc
+/// Rust lexers. Every one must round-trip losslessly.
+#[test]
+fn nasty_constructs_roundtrip() {
+    let nasties = [
+        "let s = r##\"quote \" fence \"# still in\"##;",
+        "let b = br#\"bytes \" here\"#;",
+        "let c = '\\u{1F600}'; let l: &'static str = \"\";",
+        "impl<'a, T: Iterator<Item = &'a u8>> X<'a, T> {}",
+        "let r = 0..=5; let f = 1.0e-9f64; let h = 0xFF_FFu32;",
+        "/* outer /* inner */ still outer */ fn f() {}",
+        "let q = 'a'; let r#fn = r#loop;",
+        "macro_rules! m { ($x:expr) => { $x + 1 }; }",
+        "let s = \"escaped \\\" quote and \\\\ backslash\";",
+        "fn g() -> impl Fn(u8) -> u8 { |x| x + 1 }",
+        "// comment with 'quote and \"dquote and \\ slash\n let x = 1;",
+        "let unicode = \"héllo wörld — §2\"; // nötes\n",
+    ];
+    for src in nasties {
+        let toks = lex(src);
+        let rebuilt: String = toks.iter().map(|t| &src[t.start..t.end]).collect();
+        assert_eq!(rebuilt, src, "roundtrip failed for {src:?}");
+        let masked = masked_view(src, &toks);
+        assert_eq!(masked.len(), src.len(), "mask changed length of {src:?}");
+    }
+}
+
+/// Comments survive as their own tokens (the concurrency pass reads
+/// justification comments off the stream).
+#[test]
+fn comments_are_tokens_with_exact_spans() {
+    let src = "x(); // tail note\n/* head */ y();\n";
+    let toks = lex(src);
+    let comments: Vec<&str> = toks
+        .iter()
+        .filter(|t| matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .map(|t| &src[t.start..t.end])
+        .collect();
+    assert_eq!(comments, vec!["// tail note", "/* head */"]);
+}

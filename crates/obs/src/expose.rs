@@ -1,6 +1,7 @@
 //! Exposition formats: Prometheus text and a human-readable report.
 
 use std::fmt::Write as _;
+use std::sync::PoisonError;
 
 use crate::histogram::{bucket_upper_edge, NUM_BUCKETS};
 use crate::metrics::{Metric, MetricsRegistry};
@@ -60,7 +61,7 @@ impl MetricsRegistry {
     /// gauge, and cumulative `_bucket`/`_sum`/`_count` series per
     /// histogram with `le` edges at `2^i − 1`.
     pub fn render_prometheus(&self) -> String {
-        let metrics = self.metrics.lock().unwrap();
+        let metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         let mut out = String::new();
         let mut last_name: Option<String> = None;
         for (key, metric) in metrics.iter() {
@@ -114,7 +115,7 @@ impl MetricsRegistry {
     /// Renders a compact human-readable report: counters and gauges as
     /// `name{labels} = value`, histograms as count/mean/percentiles.
     pub fn report(&self) -> String {
-        let metrics = self.metrics.lock().unwrap();
+        let metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         let mut out = String::new();
         for (key, metric) in metrics.iter() {
             let labels = render_labels(&key.labels, None);

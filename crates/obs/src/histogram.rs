@@ -57,18 +57,24 @@ impl Histogram {
     /// Records one observation.
     #[inline]
     pub fn observe(&self, value: u64) {
+        // relaxed: independent monotonic counters on the request hot
+        // path; readers snapshot them without a lock and tolerate
+        // cross-field skew (count/sum/bucket totals may momentarily
+        // disagree by in-flight observations).
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed); // relaxed: see above
+        self.sum.fetch_add(value, Ordering::Relaxed); // relaxed: see above
     }
 
     /// Number of observations.
     pub fn count(&self) -> u64 {
+        // relaxed: statistical snapshot; skew vs. sum/buckets tolerated
         self.count.load(Ordering::Relaxed)
     }
 
     /// Sum of all observed values.
     pub fn sum(&self) -> u64 {
+        // relaxed: statistical snapshot; skew vs. count tolerated
         self.sum.load(Ordering::Relaxed)
     }
 
@@ -84,6 +90,9 @@ impl Histogram {
 
     /// Raw bucket counts (index `i` as in [`bucket_index`]).
     pub fn bucket_counts(&self) -> [u64; NUM_BUCKETS] {
+        // relaxed: per-bucket snapshot; buckets may be torn against
+        // each other by in-flight observe() calls, which quantile
+        // estimation tolerates by design
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
 
@@ -144,10 +153,13 @@ impl Histogram {
     /// test isolation).
     pub fn clear(&self) {
         for b in &self.buckets {
+            // relaxed: best-effort reset for test isolation; concurrent
+            // observers may interleave, and any ordering would not stop
+            // them — callers quiesce traffic first
             b.store(0, Ordering::Relaxed);
         }
-        self.count.store(0, Ordering::Relaxed);
-        self.sum.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed); // relaxed: see above
+        self.sum.store(0, Ordering::Relaxed); // relaxed: see above
     }
 }
 

@@ -7,7 +7,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::histogram::Histogram;
 
@@ -25,15 +25,19 @@ impl Counter {
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // relaxed: monotonic telemetry counter on the hot path; no
+        // data is published through it and readers tolerate lag
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // relaxed: telemetry snapshot; readers tolerate lag
         self.0.load(Ordering::Relaxed)
     }
 
     fn clear(&self) {
+        // relaxed: test-isolation reset; callers quiesce traffic first
         self.0.store(0, Ordering::Relaxed);
     }
 }
@@ -47,11 +51,14 @@ impl Gauge {
     /// Sets the gauge.
     #[inline]
     pub fn set(&self, v: f64) {
+        // relaxed: last-writer-wins telemetry value; the bit pattern
+        // is a single atomic word, so readers never see a torn f64
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> f64 {
+        // relaxed: telemetry snapshot; readers tolerate lag
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 
@@ -142,7 +149,7 @@ impl MetricsRegistry {
     /// Panics if the same name+labels was registered as another kind.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
         let key = MetricKey::new(name, labels);
-        let mut map = self.metrics.lock().unwrap();
+        let mut map = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         match map
             .entry(key)
             .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
@@ -159,7 +166,7 @@ impl MetricsRegistry {
     /// Panics if the same name+labels was registered as another kind.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
         let key = MetricKey::new(name, labels);
-        let mut map = self.metrics.lock().unwrap();
+        let mut map = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         match map
             .entry(key)
             .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
@@ -176,7 +183,7 @@ impl MetricsRegistry {
     /// Panics if the same name+labels was registered as another kind.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
         let key = MetricKey::new(name, labels);
-        let mut map = self.metrics.lock().unwrap();
+        let mut map = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         match map
             .entry(key)
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
@@ -190,7 +197,12 @@ impl MetricsRegistry {
     /// for tests and reporting, not hot paths.
     pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
         let key = MetricKey::new(name, labels);
-        match self.metrics.lock().unwrap().get(&key) {
+        match self
+            .metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             Some(Metric::Counter(c)) => Some(c.get()),
             _ => None,
         }
@@ -198,7 +210,10 @@ impl MetricsRegistry {
 
     /// Number of registered metric instances.
     pub fn len(&self) -> usize {
-        self.metrics.lock().unwrap().len()
+        self.metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Whether the registry holds no metrics.
@@ -209,7 +224,12 @@ impl MetricsRegistry {
     /// Zeroes every metric, keeping registrations (and outstanding
     /// handles) alive. Primarily for test isolation.
     pub fn reset(&self) {
-        for metric in self.metrics.lock().unwrap().values() {
+        for metric in self
+            .metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+        {
             match metric {
                 Metric::Counter(c) => c.clear(),
                 Metric::Gauge(g) => g.clear(),

@@ -6,7 +6,7 @@
 //! post-hoc debugging ("what did the slow queries have in common?").
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
 /// One recorded query execution.
@@ -61,7 +61,7 @@ impl QueryLog {
     /// Appends a record, evicting the oldest when full.
     pub fn push(&self, record: QueryRecord) {
         {
-            let mut s = self.slowest.lock().unwrap();
+            let mut s = self.slowest.lock().unwrap_or_else(PoisonError::into_inner);
             let is_slowest = match s.as_ref() {
                 Some(r) => record.duration >= r.duration,
                 None => true,
@@ -70,7 +70,7 @@ impl QueryLog {
                 *s = Some(record.clone());
             }
         }
-        let mut q = self.inner.lock().unwrap();
+        let mut q = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if q.len() == self.capacity {
             q.pop_front();
         }
@@ -80,19 +80,25 @@ impl QueryLog {
     /// The slowest record since the last [`clear`](Self::clear), even
     /// if the ring has already evicted it.
     pub fn slowest(&self) -> Option<QueryRecord> {
-        self.slowest.lock().unwrap().clone()
+        self.slowest
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// The most recent `n` records, oldest first.
     pub fn recent(&self, n: usize) -> Vec<QueryRecord> {
-        let q = self.inner.lock().unwrap();
+        let q = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let skip = q.len().saturating_sub(n);
         q.iter().skip(skip).cloned().collect()
     }
 
     /// Number of records currently held.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Whether the log is empty.
@@ -107,8 +113,11 @@ impl QueryLog {
 
     /// Removes all records and resets the slowest-query tracker.
     pub fn clear(&self) {
-        self.inner.lock().unwrap().clear();
-        *self.slowest.lock().unwrap() = None;
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        *self.slowest.lock().unwrap_or_else(PoisonError::into_inner) = None;
     }
 
     /// One line per recent record, oldest first.

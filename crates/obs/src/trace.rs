@@ -33,7 +33,7 @@
 use std::cell::{Cell, RefCell};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
 /// Hard cap on buffered events; further events are counted as dropped.
@@ -112,6 +112,8 @@ thread_local! {
 fn current_tid() -> u64 {
     TID.with(|t| {
         if t.get() == 0 {
+            // relaxed: thread-id allocation; uniqueness is all that
+            // matters, no ordering with other memory is implied
             t.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
         }
         t.get()
@@ -121,7 +123,7 @@ fn current_tid() -> u64 {
 /// Starts (or restarts) capture: clears the buffer, resets the clock.
 pub fn enable() {
     let t = tracer();
-    let mut inner = t.inner.lock().unwrap();
+    let mut inner = t.inner.lock().unwrap_or_else(PoisonError::into_inner);
     inner.events.clear();
     inner.dropped = 0;
     inner.epoch = Instant::now();
@@ -135,11 +137,17 @@ pub fn disable() {
 
 /// Whether capture is currently on.
 pub fn is_enabled() -> bool {
+    // relaxed: hot-path gate only; the event buffer itself is
+    // published through the tracer mutex, and enable()'s SeqCst store
+    // makes a stale `false` merely skip the first events
     tracer().enabled.load(Ordering::Relaxed)
 }
 
 fn record(event: TraceEvent) {
-    let mut inner = tracer().inner.lock().unwrap();
+    let mut inner = tracer()
+        .inner
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
     if inner.events.len() >= MAX_TRACE_EVENTS {
         inner.dropped += 1;
         crate::global()
@@ -164,6 +172,8 @@ pub(crate) fn span_begin(name: &str) -> bool {
         let mut stack = s.borrow_mut();
         let trace_id = match stack.last() {
             Some(top) => top.trace_id,
+            // relaxed: trace-id allocation; uniqueness is all that
+            // matters, no ordering with other memory is implied
             None => NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed),
         };
         stack.push(OpenSpan {
@@ -238,17 +248,31 @@ pub fn current_trace_id() -> Option<u64> {
 
 /// Number of events currently buffered.
 pub fn event_count() -> usize {
-    tracer().inner.lock().unwrap().events.len()
+    tracer()
+        .inner
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .events
+        .len()
 }
 
 /// Events discarded because the buffer hit [`MAX_TRACE_EVENTS`].
 pub fn dropped_events() -> u64 {
-    tracer().inner.lock().unwrap().dropped
+    tracer()
+        .inner
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .dropped
 }
 
 /// A snapshot of the buffered events, in capture order.
 pub fn snapshot() -> Vec<TraceEvent> {
-    tracer().inner.lock().unwrap().events.clone()
+    tracer()
+        .inner
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .events
+        .clone()
 }
 
 fn push_json_str(out: &mut String, s: &str) {
@@ -291,7 +315,10 @@ fn push_attr_value(out: &mut String, value: &AttrValue) {
 /// in the `args` of the `E` event, where both viewers merge them into
 /// the slice.
 pub fn export_chrome() -> String {
-    let inner = tracer().inner.lock().unwrap();
+    let inner = tracer()
+        .inner
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
     let mut out = String::with_capacity(64 + inner.events.len() * 96);
     out.push_str("{\"traceEvents\":[");
     out.push_str(

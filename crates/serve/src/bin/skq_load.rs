@@ -217,14 +217,14 @@ fn run(opts: &Options) -> Result<ExitCode, String> {
     // publishes it on a cadence while the replay runs.
     let stop_rotating = Arc::new(AtomicBool::new(false));
     let rotator = (opts.rotate_ms > 0).then(|| {
-        let stop = Arc::clone(&stop_rotating);
+        let stop_rotating = Arc::clone(&stop_rotating);
         let server = Arc::clone(&server);
         let period = Duration::from_millis(opts.rotate_ms);
         let dataset = dataset.clone();
         std::thread::spawn(move || {
-            while !stop.load(Ordering::Acquire) {
+            while !stop_rotating.load(Ordering::Acquire) {
                 std::thread::sleep(period);
-                if stop.load(Ordering::Acquire) {
+                if stop_rotating.load(Ordering::Acquire) {
                     break;
                 }
                 server.publish(OrpKwSuite::build(&dataset, k_max));

@@ -80,6 +80,9 @@ impl<T> ShardedQueue<T> {
         {
             return Err(item);
         }
+        // relaxed: round-robin placement hint only — no payload is
+        // published through this counter; the stripe mutex below
+        // orders the actual job handoff
         let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.stripes.len();
         let stripe = &self.stripes[idx];
         {

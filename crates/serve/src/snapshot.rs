@@ -44,6 +44,8 @@ thread_local! {
     /// of `STRIPES` threads gets one stripe each.
     static STRIPE: usize = {
         static NEXT: AtomicUsize = AtomicUsize::new(0);
+        // relaxed: thread-numbering counter; uniqueness is all that
+        // matters, no ordering with other memory is implied
         NEXT.fetch_add(1, Ordering::Relaxed)
     };
 }
@@ -120,6 +122,11 @@ impl<T> SnapshotCell<T> {
             .publish_lock
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
+        // relaxed: epoch writes are serialized by publish_lock (held
+        // here), so this read cannot race another writer; cross-thread
+        // visibility is carried by the Release store below, paired
+        // with the Acquire load in epoch() (L16 pairing table,
+        // DESIGN.md §12)
         let generation = self.epoch.load(Ordering::Relaxed) + 1;
         let next = Arc::new(Versioned { value, generation });
         for stripe in &self.stripes {
